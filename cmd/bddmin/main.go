@@ -1,0 +1,143 @@
+// Command bddmin minimizes an incompletely specified Boolean function
+// given in the paper's leaf notation and reports the covers found by the
+// heuristics of the framework.
+//
+// The spec lists the values of the function on the leaves of the binary
+// decision tree left to right, 'd' marking don't cares; e.g. the paper's
+// Figure 1 examples are written like "d1 01 1d 01".
+//
+// Usage:
+//
+//	bddmin -spec "d1 01 1d 01" [-heuristic osm_bt] [-all] [-exact] [-dot out.dot]
+//
+// With -all, every registered heuristic plus the lower bound is reported;
+// with -exact (instances up to 20 don't-care minterms), the brute-force
+// exact minimum is included.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/core"
+	"bddmin/internal/logic"
+)
+
+func main() {
+	var (
+		spec      = flag.String("spec", "", "function in leaf notation, e.g. \"d1 01\"")
+		plaFile   = flag.String("pla", "", "read the instance from an espresso PLA file instead of -spec")
+		plaOutput = flag.Int("output", 0, "which PLA output to minimize")
+		heuristic = flag.String("heuristic", "osm_bt", "heuristic name (const, restr, osm_td, osm_nv, osm_cp, osm_bt, tsm_td, tsm_cp, opt_lv, sched, robust)")
+		all       = flag.Bool("all", false, "run every heuristic and the lower bound")
+		exact     = flag.Bool("exact", false, "also compute the exact minimum by brute force")
+		dotFile   = flag.String("dot", "", "write the minimized BDD to this DOT file")
+	)
+	flag.Parse()
+	if *spec == "" && *plaFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var (
+		m  *bdd.Manager
+		in core.ISF
+		n  int
+	)
+	if *plaFile != "" {
+		file, err := os.Open(*plaFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pla, err := logic.ParsePLA(file)
+		file.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n = pla.NumInputs
+		m = bdd.New(n)
+		vars := make([]bdd.Var, n)
+		for i := range vars {
+			vars[i] = bdd.Var(i)
+			if i < len(pla.InputNames) {
+				m.SetVarName(vars[i], pla.InputNames[i])
+			}
+		}
+		f, c, err := pla.OutputISF(m, vars, *plaOutput)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		in = core.ISF{F: f, C: c}
+	} else {
+		clean := strings.ReplaceAll(strings.ReplaceAll(*spec, " ", ""), "\t", "")
+		for 1<<n < len(clean) {
+			n++
+		}
+		m = bdd.New(n)
+		parsed, err := core.ParseSpec(m, *spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		in = parsed
+	}
+	fmt.Printf("instance [f, c] over %d variables: %s\n", n, core.FormatSpec(m, in, n))
+	fmt.Printf("|f| = %d nodes, c_onset = %.1f%%\n\n", m.Size(in.F), m.Density(in.C)*100)
+	if g, ok := in.Trivial(m); ok {
+		fmt.Printf("trivial instance: cover is the constant %v\n", g == bdd.One)
+		return
+	}
+
+	report := func(h core.Minimizer) bdd.Ref {
+		g := h.Minimize(m, in.F, in.C)
+		if !in.Cover(m, g) {
+			fmt.Fprintf(os.Stderr, "BUG: %s returned a non-cover\n", h.Name())
+			os.Exit(1)
+		}
+		fmt.Printf("  %-8s size %3d   %s\n", h.Name(), m.Size(g), core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n))
+		return g
+	}
+
+	var result bdd.Ref
+	haveResult := false
+	if *all {
+		for _, h := range core.Registry() {
+			g := report(h)
+			if h.Name() == *heuristic || !haveResult {
+				result = g
+				haveResult = true
+			}
+		}
+		fmt.Printf("  %-8s size %3d\n", "low_bd", core.LowerBound(m, in.F, in.C, 1000))
+	} else {
+		h := core.ByName(*heuristic)
+		if h == nil {
+			fmt.Fprintf(os.Stderr, "unknown heuristic %q\n", *heuristic)
+			os.Exit(1)
+		}
+		result = report(h)
+		haveResult = true
+	}
+	if *exact {
+		g, size := core.ExactMinimize(m, in.F, in.C, n)
+		fmt.Printf("  %-8s size %3d   %s\n", "exact", size, core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n))
+	}
+	if *dotFile != "" && haveResult {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := m.WriteDot(f, map[string]bdd.Ref{"f": in.F, "c": in.C, "min": result}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("DOT written to %s\n", *dotFile)
+	}
+}

@@ -1,0 +1,114 @@
+// FSM equivalence: verify that two structurally different implementations
+// of the same specification are equivalent — the application that
+// motivated the paper (Coudert et al.) — and observe how much the frontier
+// minimization matters.
+//
+// The two machines are a binary up-counter and a Gray-code counter with a
+// binary-decoded comparison output: different encodings, different logic,
+// same observable behavior (both raise "wrap" one step before wrapping to
+// zero). A third, buggy variant is checked to show a real difference being
+// caught. Run with:
+//
+//	go run ./examples/fsmequiv
+package main
+
+import (
+	"fmt"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/core"
+	"bddmin/internal/fsm"
+	"bddmin/internal/logic"
+)
+
+const width = 5
+
+// binaryCounter builds a plain binary counter raising "wrap" at the
+// all-ones state.
+func binaryCounter(broken bool) *logic.Network {
+	b := logic.NewBuilder("bin")
+	en := b.Input("en")
+	qs := make([]*logic.Node, width)
+	for i := range qs {
+		qs[i] = b.Latch(fmt.Sprintf("q%d", i), false)
+	}
+	carry := en
+	for i := 0; i < width; i++ {
+		b.SetNext(qs[i], b.Xor(qs[i], carry))
+		carry = b.And(carry, qs[i])
+	}
+	wrap := b.And(qs[0], qs[1], qs[2], qs[3], qs[4])
+	if broken {
+		wrap = b.And(qs[0], qs[1], qs[2], qs[3]) // fires early: observable bug
+	}
+	b.Output("wrap", wrap)
+	return b.MustBuild()
+}
+
+// grayCounter implements the same specification over a Gray-coded state:
+// decode to binary, compare against all-ones, increment, re-encode.
+func grayCounter() *logic.Network {
+	b := logic.NewBuilder("gray")
+	en := b.Input("en")
+	gs := make([]*logic.Node, width)
+	for i := range gs {
+		gs[i] = b.Latch(fmt.Sprintf("g%d", i), false)
+	}
+	bin := make([]*logic.Node, width)
+	bin[width-1] = gs[width-1]
+	for i := width - 2; i >= 0; i-- {
+		bin[i] = b.Xor(bin[i+1], gs[i])
+	}
+	sum := make([]*logic.Node, width)
+	carry := en
+	for i := 0; i < width; i++ {
+		sum[i] = b.Xor(bin[i], carry)
+		carry = b.And(carry, bin[i])
+	}
+	for i := 0; i < width; i++ {
+		if i == width-1 {
+			b.SetNext(gs[i], sum[i])
+		} else {
+			b.SetNext(gs[i], b.Xor(sum[i], sum[i+1]))
+		}
+	}
+	wrap := b.And(bin[0], bin[1], bin[2], bin[3], bin[4])
+	b.Output("wrap", wrap)
+	return b.MustBuild()
+}
+
+func check(a, b *logic.Network, h core.Minimizer) fsm.Result {
+	m := bdd.New(0)
+	p, err := fsm.NewProduct(m, a, b)
+	if err != nil {
+		panic(err)
+	}
+	return p.CheckEquivalence(fsm.Options{
+		Minimize: func(mm *bdd.Manager, f, c bdd.Ref) bdd.Ref {
+			return h.Minimize(mm, f, c)
+		},
+	})
+}
+
+func main() {
+	fmt.Println("=== Product-machine equivalence with frontier minimization ===")
+	fmt.Printf("binary counter vs Gray counter (%d bits, different encodings)\n\n", width)
+
+	for _, h := range []core.Minimizer{core.Constrain(), core.Restrict(),
+		core.NewSiblingHeuristic(core.OSM, true, true)} {
+		res := check(binaryCounter(false), grayCounter(), h)
+		fmt.Printf("  minimize with %-7s → %s\n", h.Name(), res)
+		if !res.Equal {
+			panic("equivalent machines reported different")
+		}
+	}
+
+	fmt.Println("\nbinary counter vs buggy binary counter (wrap fires early):")
+	res := check(binaryCounter(false), binaryCounter(true), core.Constrain())
+	fmt.Printf("  → %s\n", res)
+	if res.Equal {
+		panic("bug missed")
+	}
+	fmt.Println("\nThe verdict is heuristic-independent; what changes is the size of")
+	fmt.Println("the BDDs carried through the traversal — the paper's subject.")
+}

@@ -1,0 +1,72 @@
+// Observability don't cares: rewrite an internal node of a logic network
+// using the freedom its fanout cone cannot observe — the synthesis-side
+// source of incompletely specified functions behind the paper's FPGA
+// mapping application.
+//
+// For every internal gate of a small arithmetic/control cone, the ODC set
+// is computed symbolically, the node's incompletely specified function
+// [f, ¬ODC] is minimized with the framework's heuristics, and the
+// replacement is verified to preserve every primary output. Run with:
+//
+//	go run ./examples/odcrewrite
+package main
+
+import (
+	"fmt"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/core"
+	"bddmin/internal/logic"
+)
+
+func buildCone() (*logic.Network, []*logic.Node) {
+	b := logic.NewBuilder("cone")
+	a := b.Input("a")
+	c := b.Input("b")
+	d := b.Input("c")
+	e := b.Input("d")
+	sel := b.Input("sel")
+
+	// Some shared arithmetic-ish logic with gated observability.
+	sum := b.Xor(a, c, d)
+	carry := b.Or(b.And(a, c), b.And(d, b.Xor(a, c)))
+	cmp := b.And(b.Xnor(a, e), b.Or(c, d))
+	hidden := b.Mux(sel, sum, cmp) // sum unobservable when sel=0, cmp when sel=1
+	b.Output("y0", b.And(hidden, e))
+	b.Output("y1", b.Or(carry, b.Not(sel)))
+	net := b.MustBuild()
+	return net, []*logic.Node{sum, carry, cmp, hidden}
+}
+
+func main() {
+	fmt.Println("=== Rewriting internal nodes with observability don't cares ===")
+	net, targets := buildCone()
+	m := bdd.New(net.PrimaryInputCount())
+	env := logic.Env{}
+	for i, in := range net.Inputs {
+		env[in] = m.MkVar(bdd.Var(i))
+		m.SetVarName(bdd.Var(i), in.Name)
+	}
+
+	h := core.NewSiblingHeuristic(core.OSM, true, true) // osm_bt
+	fmt.Println("node     ODC density   |f| -> |g|   verified")
+	for _, nd := range targets {
+		f, c, err := logic.NodeISF(m, net, env, nd)
+		if err != nil {
+			panic(err)
+		}
+		g := f
+		if c != bdd.Zero && c != bdd.One {
+			g = h.Minimize(m, f, c)
+			if m.Size(g) > m.Size(f) {
+				g = f // Proposition 6 safeguard
+			}
+		}
+		if err := logic.ReplaceObservable(m, net, env, nd, g); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-6s  %6.1f%%       %2d -> %2d      ok\n",
+			nd.Name, (1-m.Density(c))*100, m.Size(f), m.Size(g))
+	}
+	fmt.Println("\nEvery rewrite preserves all primary outputs (checked symbolically).")
+}

@@ -1,0 +1,106 @@
+// Reachability don't cares: minimize the next-state logic of an FSM with
+// respect to its unreachable states — the second application named in the
+// paper's introduction ("minimizing the transition relation of an FSM with
+// respect to the unreachable states").
+//
+// The machine is a decade (mod-10) counter: six of its sixteen state codes
+// can never occur, so the next-state functions are incompletely specified
+// with care set R, the reachable codes. Every cover of [δ_i, R] implements
+// the same counter; a smaller BDD cover means smaller synthesized logic.
+// Run with:
+//
+//	go run ./examples/reachability
+package main
+
+import (
+	"fmt"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/core"
+	"bddmin/internal/fsm"
+	"bddmin/internal/logic"
+)
+
+// decadeCounter builds a mod-10 counter with an enable input and a
+// terminal-count output.
+func decadeCounter() *logic.Network {
+	b := logic.NewBuilder("decade")
+	en := b.Input("en")
+	qs := make([]*logic.Node, 4)
+	for i := range qs {
+		qs[i] = b.Latch(fmt.Sprintf("q%d", i), false)
+	}
+	isNine := b.And(qs[0], b.Not(qs[1]), b.Not(qs[2]), qs[3])
+	carry := en
+	inc := make([]*logic.Node, 4)
+	for i := 0; i < 4; i++ {
+		inc[i] = b.Xor(qs[i], carry)
+		carry = b.And(carry, qs[i])
+	}
+	for i := 0; i < 4; i++ {
+		b.SetNext(qs[i], b.Mux(b.And(en, isNine), b.Const(false), inc[i]))
+	}
+	b.Output("nine", isNine)
+	return b.MustBuild()
+}
+
+func main() {
+	fmt.Println("=== Minimizing next-state logic against unreachable states ===")
+	net := decadeCounter()
+	m := bdd.New(0)
+	p, err := fsm.NewProduct(m, net, net) // self-product gives us the compiled machine
+	if err != nil {
+		panic(err)
+	}
+	res := p.CheckEquivalence(fsm.Options{})
+	if !res.Equal {
+		panic("decade counter must be self-equivalent")
+	}
+
+	// Reachable set of machine A alone: abstract copy B's variables.
+	reached := m.Exists(res.Reached, m.CubeVars(p.B.StateVars...))
+	fmt.Printf("machine: %s, %d latches, %.0f of %d state codes reachable\n",
+		net.Name, net.LatchCount(), m.SatCount(reached, len(p.A.StateVars)),
+		1<<len(p.A.StateVars))
+	before := m.SharedSize(p.A.Next...)
+	fmt.Printf("shared next-state BDD: %d nodes\n\n", before)
+
+	fmt.Println("heuristic   shared nodes   reduction   (after the |f| safeguard of Prop. 6)")
+	for _, h := range core.Registry() {
+		after := make([]bdd.Ref, len(p.A.Next))
+		for i, d := range p.A.Next {
+			g := h.Minimize(m, d, reached)
+			if !m.Cover(g, d, reached) {
+				panic(h.Name() + " returned a non-cover")
+			}
+			// Proposition 6: no value-insensitive heuristic can guarantee
+			// a result no larger than the input; compare and keep the
+			// smaller, as the paper recommends.
+			if m.Size(g) > m.Size(d) {
+				g = d
+			}
+			after[i] = g
+		}
+		size := m.SharedSize(after...)
+		fmt.Printf("  %-8s  %6d         %.2fx\n", h.Name(), size,
+			float64(before)/float64(size))
+	}
+
+	// Soundness: the rewritten machine has the same image from every
+	// reachable state (checked with the best sibling heuristic).
+	h := core.NewSiblingHeuristic(core.OSM, true, true)
+	rewritten := make([]bdd.Ref, len(p.A.Next))
+	for i, d := range p.A.Next {
+		rewritten[i] = h.Minimize(m, d, reached)
+	}
+	wx := m.CubeVars(append(append([]bdd.Var{}, p.A.InputVars...), p.A.StateVars...)...)
+	for i := range p.A.Next {
+		y := m.MkVar(p.A.NextVars[i])
+		orig := m.AndExists(reached, m.Xnor(y, p.A.Next[i]), wx)
+		mini := m.AndExists(reached, m.Xnor(y, rewritten[i]), wx)
+		if orig != mini {
+			panic("rewritten next-state function changed reachable behavior")
+		}
+	}
+	fmt.Println("\nper-latch images from reachable states verified identical under the rewrite")
+}

@@ -1,0 +1,3 @@
+module bddmin
+
+go 1.22

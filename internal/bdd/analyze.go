@@ -1,0 +1,177 @@
+package bdd
+
+import "sort"
+
+// Support returns the variables f depends on, in ascending order.
+func (m *Manager) Support(f Ref) []Var {
+	m.checkRef(f)
+	seen := make(map[uint32]bool)
+	vars := make(map[Var]bool)
+	m.supportWalk(f, seen, vars)
+	out := make([]Var, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *Manager) supportWalk(f Ref, seen map[uint32]bool, vars map[Var]bool) {
+	idx := f.index()
+	if idx == 0 || seen[idx] {
+		return
+	}
+	seen[idx] = true
+	n := &m.nodes[idx]
+	vars[Var(n.level)] = true
+	m.supportWalk(n.high, seen, vars)
+	m.supportWalk(n.low, seen, vars)
+}
+
+// SupportCube returns the positive cube of f's support variables.
+func (m *Manager) SupportCube(f Ref) Ref { return m.CubeVars(m.Support(f)...) }
+
+// SupportUnion returns the union of the supports of the given functions,
+// ascending.
+func (m *Manager) SupportUnion(fs ...Ref) []Var {
+	vars := make(map[Var]bool)
+	seen := make(map[uint32]bool)
+	for _, f := range fs {
+		m.checkRef(f)
+		m.supportWalk(f, seen, vars)
+	}
+	out := make([]Var, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of nodes in f's diagram, including the terminal
+// node, matching |f| as defined in the paper (Section 2).
+func (m *Manager) Size(f Ref) int {
+	m.checkRef(f)
+	seen := make(map[uint32]bool)
+	m.markReach(f, seen)
+	return len(seen) + 1 // +1 for the terminal
+}
+
+// SharedSize returns the node count of the shared diagram of all given
+// functions, including the terminal.
+func (m *Manager) SharedSize(fs ...Ref) int {
+	seen := make(map[uint32]bool)
+	for _, f := range fs {
+		m.checkRef(f)
+		m.markReach(f, seen)
+	}
+	return len(seen) + 1
+}
+
+func (m *Manager) markReach(f Ref, seen map[uint32]bool) {
+	idx := f.index()
+	if idx == 0 || seen[idx] {
+		return
+	}
+	seen[idx] = true
+	n := &m.nodes[idx]
+	m.markReach(n.high, seen)
+	m.markReach(n.low, seen)
+}
+
+// NodesBelowLevel returns N_i(f): the number of nonterminal nodes of f's
+// diagram strictly below level i, per Definition 11 of the paper.
+func (m *Manager) NodesBelowLevel(f Ref, i Var) int {
+	m.checkRef(f)
+	seen := make(map[uint32]bool)
+	m.markReach(f, seen)
+	count := 0
+	for idx := range seen {
+		if m.nodes[idx].level > int32(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// LevelNodes returns, for each variable level, the number of nodes of f's
+// diagram rooted at that level. The terminal is not included.
+func (m *Manager) LevelNodes(f Ref) []int {
+	m.checkRef(f)
+	seen := make(map[uint32]bool)
+	m.markReach(f, seen)
+	out := make([]int, m.nvars)
+	for idx := range seen {
+		out[m.nodes[idx].level]++
+	}
+	return out
+}
+
+// Density returns the fraction of the Boolean space (over all of the
+// manager's variables — equivalently over any superset of f's support) on
+// which f evaluates to 1. The experiment harness uses Density(c) as the
+// paper's c_onset_size measure: the percentage of onset points of the care
+// function over the space spanned by the union of supports.
+func (m *Manager) Density(f Ref) float64 {
+	m.checkRef(f)
+	memo := make(map[uint32]float64)
+	return m.density(f, memo)
+}
+
+func (m *Manager) density(f Ref, memo map[uint32]float64) float64 {
+	if f == One {
+		return 1
+	}
+	if f == Zero {
+		return 0
+	}
+	idx := f.index()
+	d, ok := memo[idx]
+	if !ok {
+		n := &m.nodes[idx]
+		d = (m.density(n.high, memo) + m.density(n.low, memo)) / 2
+		memo[idx] = d
+	}
+	if f.IsComplement() {
+		return 1 - d
+	}
+	return d
+}
+
+// SatCount returns the number of satisfying assignments of f over nvars
+// variables, as a float64 (exact for counts below 2^53).
+func (m *Manager) SatCount(f Ref, nvars int) float64 {
+	if nvars < 0 {
+		panic("bdd: negative variable count")
+	}
+	scale := 1.0
+	for i := 0; i < nvars; i++ {
+		scale *= 2
+	}
+	return m.Density(f) * scale
+}
+
+// Eval evaluates f under the assignment asn, which must cover every
+// variable in f's support (indexing by Var).
+func (m *Manager) Eval(f Ref, asn []bool) bool {
+	m.checkRef(f)
+	neg := false
+	for {
+		if f.IsComplement() {
+			neg = !neg
+			f = f.Not()
+		}
+		if f == One {
+			return !neg
+		}
+		n := &m.nodes[f.index()]
+		if int(n.level) >= len(asn) {
+			panic("bdd: Eval assignment too short for function support")
+		}
+		if asn[n.level] {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+}

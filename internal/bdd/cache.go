@@ -1,0 +1,80 @@
+package bdd
+
+// computedCache is a lossy, direct-mapped cache shared by the recursive
+// operators (ITE, quantification, constrain, ...). Entries are keyed by an
+// operation tag plus up to three operand Refs. Collisions simply overwrite:
+// correctness never depends on a hit.
+//
+// The cache is cleared by Manager.FlushCaches and Manager.GC. Clearing
+// between heuristic invocations reproduces the measurement protocol of the
+// paper (Section 4.1.1), where the garbage collector is invoked before each
+// heuristic so that no heuristic profits from its predecessors' cached
+// computations.
+type computedCache struct {
+	entries []cacheEntry
+	mask    uint32
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	op      uint32
+	f, g, h Ref
+	result  Ref
+	valid   bool
+}
+
+// Operation tags for the computed cache.
+const (
+	opITE uint32 = iota + 1
+	opExists
+	opForall
+	opAndExists
+	opConstrain
+	opRestrict
+	opCompose // compose tags add the variable index: opCompose + uint32(v)<<8
+	opRename
+	opSupport
+	opLast
+)
+
+func (c *computedCache) init(bits int) {
+	c.entries = make([]cacheEntry, 1<<bits)
+	c.mask = uint32(len(c.entries) - 1)
+}
+
+func (c *computedCache) clear() {
+	for i := range c.entries {
+		c.entries[i] = cacheEntry{}
+	}
+	c.hits, c.misses = 0, 0
+}
+
+func (c *computedCache) slot(op uint32, f, g, h Ref) *cacheEntry {
+	idx := hash3(uint32(f)*31+op, uint32(g), uint32(h)) & c.mask
+	return &c.entries[idx]
+}
+
+func (c *computedCache) lookup(op uint32, f, g, h Ref) (Ref, bool) {
+	e := c.slot(op, f, g, h)
+	if e.valid && e.op == op && e.f == f && e.g == g && e.h == h {
+		c.hits++
+		return e.result, true
+	}
+	c.misses++
+	return 0, false
+}
+
+func (c *computedCache) insert(op uint32, f, g, h, result Ref) {
+	e := c.slot(op, f, g, h)
+	*e = cacheEntry{op: op, f: f, g: g, h: h, result: result, valid: true}
+}
+
+// FlushCaches clears the computed caches without reclaiming nodes. See the
+// computedCache documentation for why the experiment harness calls this
+// between heuristics.
+func (m *Manager) FlushCaches() { m.cache.clear() }
+
+// CacheStats returns the computed-cache hit and miss counters accumulated
+// since the last flush.
+func (m *Manager) CacheStats() (hits, misses uint64) { return m.cache.hits, m.cache.misses }

@@ -1,0 +1,111 @@
+package bdd
+
+// Constrain computes the generalized cofactor f ↓ c of Coudert, Berthet and
+// Madre, the "constrain" operator of the paper. The result is a cover of
+// the incompletely specified function [f, c], and by Theorem 7 of the paper
+// it is a minimum-size cover whenever c is a cube.
+//
+// This is the classical direct recursion; the minimization framework in
+// package core re-derives the same operator as the generic sibling matcher
+// instantiated with the osdm criterion and both flags off, and the two are
+// cross-checked in tests.
+//
+// Constrain panics if c is Zero (no cover exists for an empty care
+// constraint in the classical operator's formulation).
+func (m *Manager) Constrain(f, c Ref) Ref {
+	m.checkRef(f)
+	m.checkRef(c)
+	if c == Zero {
+		panic("bdd: Constrain with empty care set")
+	}
+	return m.constrain(f, c)
+}
+
+func (m *Manager) constrain(f, c Ref) Ref {
+	if c == One || f.IsConst() {
+		return f
+	}
+	if f == c {
+		return One
+	}
+	if f == c.Not() {
+		return Zero
+	}
+	if r, ok := m.cache.lookup(opConstrain, f, c, 0); ok {
+		return r
+	}
+	top := m.Level(f)
+	if l := m.Level(c); l < top {
+		top = l
+	}
+	fT, fE := m.branches(f, top)
+	cT, cE := m.branches(c, top)
+	var r Ref
+	switch {
+	case cT == Zero:
+		r = m.constrain(fE, cE)
+	case cE == Zero:
+		r = m.constrain(fT, cT)
+	default:
+		r = m.mkNode(top, m.constrain(fT, cT), m.constrain(fE, cE))
+	}
+	m.cache.insert(opConstrain, f, c, 0, r)
+	return r
+}
+
+// Restrict computes the restrict operator of Coudert and Madre: like
+// Constrain, but when the care function's top variable does not occur in
+// f's subgraph, the variable is existentially abstracted from c instead of
+// being introduced into the result ("no-new-vars"). The result is a cover
+// of [f, c].
+//
+// The framework equivalent is the generic sibling matcher with the osdm
+// criterion and the no-new-vars flag on.
+func (m *Manager) Restrict(f, c Ref) Ref {
+	m.checkRef(f)
+	m.checkRef(c)
+	if c == Zero {
+		panic("bdd: Restrict with empty care set")
+	}
+	return m.restrict(f, c)
+}
+
+func (m *Manager) restrict(f, c Ref) Ref {
+	if c == One || f.IsConst() {
+		return f
+	}
+	if f == c {
+		return One
+	}
+	if f == c.Not() {
+		return Zero
+	}
+	if r, ok := m.cache.lookup(opRestrict, f, c, 0); ok {
+		return r
+	}
+	fl, cl := m.Level(f), m.Level(c)
+	var r Ref
+	switch {
+	case cl < fl:
+		// f is independent of c's top variable (ordering invariant:
+		// every variable in f is at or below fl). Abstract it from c.
+		cT, cE := m.branches(c, cl)
+		r = m.restrict(f, m.Or(cT, cE))
+	case fl < cl:
+		fT, fE := m.branches(f, fl)
+		r = m.mkNode(fl, m.restrict(fT, c), m.restrict(fE, c))
+	default:
+		fT, fE := m.branches(f, fl)
+		cT, cE := m.branches(c, cl)
+		switch {
+		case cT == Zero:
+			r = m.restrict(fE, cE)
+		case cE == Zero:
+			r = m.restrict(fT, cT)
+		default:
+			r = m.mkNode(fl, m.restrict(fT, cT), m.restrict(fE, cE))
+		}
+	}
+	m.cache.insert(opRestrict, f, c, 0, r)
+	return r
+}

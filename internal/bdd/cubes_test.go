@@ -1,0 +1,180 @@
+package bdd
+
+import "testing"
+
+func TestForEachCubePartitionsOnset(t *testing.T) {
+	rng := newRand(40)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		m := New(n)
+		a := randTT(rng, n)
+		f := a.build(m)
+		union := Zero
+		count := m.ForEachCube(f, 0, func(cube []CubeValue) bool {
+			c := m.CubeRef(cube)
+			if c == Zero {
+				t.Fatal("emitted cube must be nonempty")
+			}
+			if !m.Disjoint(union, c) {
+				t.Fatal("cubes from distinct BDD paths must be disjoint")
+			}
+			union = m.Or(union, c)
+			return true
+		})
+		if union != f {
+			t.Fatalf("union of %d cubes must equal f", count)
+		}
+	}
+}
+
+func TestForEachCubeLimitAndEarlyStop(t *testing.T) {
+	m := New(4)
+	// Parity has 8 cubes (all minterms).
+	f := m.Xor(m.Xor(m.MkVar(0), m.MkVar(1)), m.Xor(m.MkVar(2), m.MkVar(3)))
+	if got := m.ForEachCube(f, 0, func([]CubeValue) bool { return true }); got != 8 {
+		t.Fatalf("parity4 cube count = %d, want 8", got)
+	}
+	if got := m.ForEachCube(f, 3, func([]CubeValue) bool { return true }); got != 3 {
+		t.Fatalf("limited cube count = %d, want 3", got)
+	}
+	calls := 0
+	m.ForEachCube(f, 0, func([]CubeValue) bool { calls++; return calls < 2 })
+	if calls != 2 {
+		t.Fatalf("early stop delivered %d cubes, want 2", calls)
+	}
+	if m.ForEachCube(Zero, 0, func([]CubeValue) bool { return true }) != 0 {
+		t.Fatal("Zero has no cubes")
+	}
+	got := m.ForEachCube(One, 0, func(cube []CubeValue) bool {
+		for _, v := range cube {
+			if v != DontCare {
+				t.Fatal("cube of One must be all don't cares")
+			}
+		}
+		return true
+	})
+	if got != 1 {
+		t.Fatal("One has exactly one (empty) cube")
+	}
+}
+
+func TestCubeRefAndLiterals(t *testing.T) {
+	m := New(4)
+	c := m.CubeFromLiterals(Literal{0, true}, Literal{2, false})
+	want := m.And(m.MkVar(0), m.MkNotVar(2))
+	if c != want {
+		t.Fatal("CubeFromLiterals mismatch")
+	}
+	if m.CubeFromLiterals(Literal{1, true}, Literal{1, false}) != Zero {
+		t.Fatal("contradictory literals must give Zero")
+	}
+	if m.CubeFromLiterals() != One {
+		t.Fatal("empty literal list must give One")
+	}
+	cube := []CubeValue{CubeOne, DontCare, CubeZero, DontCare}
+	if m.CubeRef(cube) != want {
+		t.Fatal("CubeRef mismatch")
+	}
+}
+
+func TestIsCube(t *testing.T) {
+	m := New(4)
+	cases := []struct {
+		name string
+		f    Ref
+		want bool
+	}{
+		{"One", One, true},
+		{"Zero", Zero, false},
+		{"literal", m.MkVar(1), true},
+		{"negliteral", m.MkNotVar(1), true},
+		{"and", m.AndN(m.MkVar(0), m.MkNotVar(2), m.MkVar(3)), true},
+		{"or", m.Or(m.MkVar(0), m.MkVar(1)), false},
+		{"xor", m.Xor(m.MkVar(0), m.MkVar(1)), false},
+		{"xnor", m.Xnor(m.MkVar(0), m.MkVar(1)), false},
+	}
+	for _, c := range cases {
+		if got := m.IsCube(c.f); got != c.want {
+			t.Errorf("IsCube(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIsCubeExhaustive3(t *testing.T) {
+	// Cross-check IsCube against a brute-force characterization on every
+	// 3-variable function: f is a cube iff f is nonzero and closed under
+	// bitwise AND of minterm agreement — equivalently, the onset is a
+	// subcube of the Boolean space.
+	m := New(3)
+	for bits := 0; bits < 256; bits++ {
+		vals := make([]bool, 8)
+		ones := 0
+		for i := range vals {
+			vals[i] = bits&(1<<i) != 0
+			if vals[i] {
+				ones++
+			}
+		}
+		f := m.FromTruthTable(vars(3), vals)
+		// Brute force: onset is a subcube iff for the bounding box
+		// (bitwise AND and OR of onset minterm indexes) every point
+		// between them that matches the fixed positions is in the onset.
+		want := ones > 0
+		if ones > 0 {
+			allAnd, allOr := 7, 0
+			for i := range vals {
+				if vals[i] {
+					allAnd &= i
+					allOr |= i
+				}
+			}
+			free := allAnd ^ allOr // varying bit positions
+			cnt := 0
+			for i := range vals {
+				if i&^free == allAnd&^free && i|free == allOr|free {
+					cnt++
+				}
+			}
+			want = ones == cnt && ones == 1<<popcount(free)
+		}
+		if got := m.IsCube(f); got != want {
+			t.Fatalf("IsCube mismatch for table %08b: got %v want %v", bits, got, want)
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+func TestOneCube(t *testing.T) {
+	m := New(3)
+	f := m.Or(m.And(m.MkVar(0), m.MkVar(1)), m.MkVar(2))
+	cube, ok := m.OneCube(f)
+	if !ok {
+		t.Fatal("satisfiable function must yield a cube")
+	}
+	if !m.Leq(m.CubeRef(cube), f) {
+		t.Fatal("OneCube must be contained in f")
+	}
+	if _, ok := m.OneCube(Zero); ok {
+		t.Fatal("Zero has no cube")
+	}
+}
+
+func TestFormatCube(t *testing.T) {
+	m := New(3)
+	m.SetVarName(0, "a")
+	got := m.FormatCube([]CubeValue{CubeOne, CubeZero, DontCare})
+	if got != "a !x1" {
+		t.Fatalf("FormatCube = %q", got)
+	}
+	if m.FormatCube([]CubeValue{DontCare, DontCare, DontCare}) != "1" {
+		t.Fatal("empty cube must format as 1")
+	}
+}

@@ -1,0 +1,57 @@
+package bdd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDot emits a Graphviz DOT rendering of the shared diagram of the
+// given functions. Solid arcs are "then" edges, dashed arcs are "else"
+// edges, and dotted arcs mark complemented else edges. Each root gets a
+// labeled entry arrow.
+func (m *Manager) WriteDot(w io.Writer, roots map[string]Ref) error {
+	names := make([]string, 0, len(roots))
+	for name := range roots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	seen := make(map[uint32]bool)
+	for _, name := range names {
+		m.checkRef(roots[name])
+		m.markReach(roots[name], seen)
+	}
+	order := make([]uint32, 0, len(seen))
+	for idx := range seen {
+		order = append(order, idx)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	if _, err := fmt.Fprintln(w, "digraph BDD {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  n0 [label=\"1\", shape=box];")
+	for _, idx := range order {
+		n := &m.nodes[idx]
+		fmt.Fprintf(w, "  n%d [label=%q, shape=circle];\n", idx, m.VarName(Var(n.level)))
+		fmt.Fprintf(w, "  n%d -> n%d [style=solid];\n", idx, n.high.index())
+		style := "dashed"
+		if n.low.IsComplement() {
+			style = "dotted"
+		}
+		fmt.Fprintf(w, "  n%d -> n%d [style=%s];\n", idx, n.low.index(), style)
+	}
+	for i, name := range names {
+		r := roots[name]
+		style := "solid"
+		if r.IsComplement() {
+			style = "dotted"
+		}
+		fmt.Fprintf(w, "  root%d [label=%q, shape=plaintext];\n", i, name)
+		fmt.Fprintf(w, "  root%d -> n%d [style=%s];\n", i, r.index(), style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

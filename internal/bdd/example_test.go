@@ -1,0 +1,57 @@
+package bdd_test
+
+import (
+	"fmt"
+
+	"bddmin/internal/bdd"
+)
+
+// Build and query functions: canonicity makes equality a pointer compare,
+// negation is free via complement edges.
+func Example() {
+	m := bdd.New(3)
+	x, y, z := m.MkVar(0), m.MkVar(1), m.MkVar(2)
+	f := m.Or(m.And(x, y), z)
+	g := m.Or(z, m.And(y, x)) // same function, different construction
+	fmt.Println("canonical:", f == g)
+	fmt.Println("size:", m.Size(f))
+	fmt.Println("satcount:", m.SatCount(f, 3))
+	fmt.Println("de morgan:", f.Not() == m.And(m.And(x, y).Not(), z.Not()))
+	// Output:
+	// canonical: true
+	// size: 4
+	// satcount: 5
+	// de morgan: true
+}
+
+// Constrain (the generalized cofactor) produces a cover of [f, c] and is
+// optimal when c is a cube (Theorem 7 of the DAC'94 paper this package
+// underlies).
+func ExampleManager_Constrain() {
+	m := bdd.New(2)
+	f := m.Xor(m.MkVar(0), m.MkVar(1))
+	c := m.MkVar(0) // a cube: care only where x0 = 1
+	g := m.Constrain(f, c)
+	fmt.Println("cover:", m.Cover(g, f, c))
+	fmt.Println("g == !x1:", g == m.MkNotVar(1))
+	// Output:
+	// cover: true
+	// g == !x1: true
+}
+
+// Cube enumeration drives the paper's lower-bound computation.
+func ExampleManager_ForEachCube() {
+	m := bdd.New(3)
+	f := m.Or(m.And(m.MkVar(0), m.MkVar(1)), m.MkNotVar(2).Not().Not())
+	m.SetVarName(0, "a")
+	m.SetVarName(1, "b")
+	m.SetVarName(2, "c")
+	m.ForEachCube(f, 0, func(cube []bdd.CubeValue) bool {
+		fmt.Println(m.FormatCube(cube))
+		return true
+	})
+	// Output:
+	// a b
+	// a !b !c
+	// !a !c
+}

@@ -1,0 +1,41 @@
+package bdd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFunctions: the deserializer must never panic or corrupt the
+// manager on arbitrary input; on success, the loaded functions must live
+// in a manager that still passes the structural invariant check.
+func FuzzReadFunctions(f *testing.F) {
+	m0 := New(4)
+	g := m0.Or(m0.And(m0.MkVar(0), m0.MkVar(1)), m0.MkNotVar(3))
+	var sb strings.Builder
+	if err := m0.WriteFunctions(&sb, map[string]Ref{"g": g, "ng": g.Not()}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.String())
+	f.Add("bddmin-bdd 1\nvars 2\nnodes 1\n1 0 1\nroots 1\nx 2\n")
+	f.Add("bddmin-bdd 1\nvars 0\nnodes 0\nroots 0\n")
+	f.Add("bddmin-bdd 1\nvars 4\nnodes 2\n3 0 1\n2 4 5\nroots 2\na 4\nb 5\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m := New(4)
+		pre := m.And(m.MkVar(0), m.MkVar(2)) // pre-existing content
+		roots, err := m.ReadFunctions(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("manager corrupted by load: %v", err)
+		}
+		// Pre-existing functions are untouched and canonical.
+		if m.And(m.MkVar(0), m.MkVar(2)) != pre {
+			t.Fatal("load disturbed existing functions")
+		}
+		for _, r := range roots {
+			m.checkRef(r)
+			_ = m.Size(r)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package bdd
+
+// Protect registers f as an external root so that GC keeps its subgraph
+// alive. Calls nest: each Protect must be matched by one Unprotect.
+func (m *Manager) Protect(f Ref) Ref {
+	m.checkRef(f)
+	m.roots[f.Regular()]++
+	return f
+}
+
+// Unprotect removes one protection count from f. It panics if f is not
+// protected.
+func (m *Manager) Unprotect(f Ref) {
+	m.checkRef(f)
+	r := f.Regular()
+	n, ok := m.roots[r]
+	if !ok {
+		panic("bdd: Unprotect of unprotected Ref")
+	}
+	if n == 1 {
+		delete(m.roots, r)
+	} else {
+		m.roots[r] = n - 1
+	}
+}
+
+// GC reclaims every node unreachable from the protected roots and the
+// additional extra roots, placing freed slots on an internal free list,
+// rebuilding the unique table, and clearing the computed caches. Refs to
+// collected nodes become invalid; callers are responsible for protecting
+// everything they intend to keep.
+//
+// It returns the number of nodes collected.
+func (m *Manager) GC(extra ...Ref) int {
+	m.stGCRuns++
+	alive := make([]bool, len(m.nodes))
+	alive[0] = true // terminal
+	var stack []uint32
+	push := func(f Ref) {
+		if idx := f.index(); !alive[idx] {
+			alive[idx] = true
+			stack = append(stack, idx)
+		}
+	}
+	for r := range m.roots {
+		push(r)
+	}
+	for _, r := range extra {
+		m.checkRef(r)
+		push(r)
+	}
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &m.nodes[idx]
+		push(n.high)
+		push(n.low)
+	}
+	collected := 0
+	m.free = m.free[:0]
+	for i := len(m.nodes) - 1; i >= 1; i-- {
+		if !alive[i] {
+			m.free = append(m.free, uint32(i))
+			collected++
+		}
+	}
+	m.live -= collected
+	m.rehash()
+	m.cache.clear()
+	return collected
+}
+
+// GCRuns returns the number of garbage collections performed.
+func (m *Manager) GCRuns() int { return m.stGCRuns }

@@ -1,0 +1,120 @@
+package bdd
+
+// ITE computes the if-then-else operator ite(f, g, h) = f·g + ¬f·h, the
+// universal two-level operator from which all binary Boolean connectives
+// are derived. The implementation follows Brace–Rudell–Bryant: terminal
+// rules, standard-triple normalization to improve cache locality, and a
+// computed cache keyed on the normalized triple.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	m.checkRef(f)
+	m.checkRef(g)
+	m.checkRef(h)
+	return m.ite(f, g, h)
+}
+
+func (m *Manager) ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == One:
+		return g
+	case f == Zero:
+		return h
+	case g == h:
+		return g
+	case g == One && h == Zero:
+		return f
+	case g == Zero && h == One:
+		return f.Not()
+	}
+	// Collapse arguments equal (or complementary) to f.
+	if g == f {
+		g = One
+	} else if g == f.Not() {
+		g = Zero
+	}
+	if h == f {
+		h = Zero
+	} else if h == f.Not() {
+		h = One
+	}
+	// Re-test terminals exposed by the collapse.
+	switch {
+	case g == h:
+		return g
+	case g == One && h == Zero:
+		return f
+	case g == Zero && h == One:
+		return f.Not()
+	}
+	// Standard triples: for the commutative forms, put the operand with
+	// the lexically smaller (level, ref) first so equivalent calls share a
+	// cache line.
+	switch {
+	case g == One: // OR(f, h)
+		if m.before(h, f) {
+			f, h = h, f
+		}
+	case h == Zero: // AND(f, g)
+		if m.before(g, f) {
+			f, g = g, f
+		}
+	case g == Zero: // AND(¬f, h) = ¬OR(f, ¬h)
+		if m.before(h, f) {
+			f, h = h.Not(), f.Not()
+		}
+	case h == One: // OR(¬f, g)
+		if m.before(g, f) {
+			f, g = g.Not(), f.Not()
+		}
+	case g == h.Not(): // XNOR family: ite(f,g,¬g) = ite(g,f,¬f)
+		if m.before(g, f) {
+			f, g = g, f
+			h = g.Not()
+		}
+	}
+	// Canonical complement handling: first argument positive, then output
+	// complement pulled out so the cached triple has a positive g.
+	if f.IsComplement() {
+		f = f.Not()
+		g, h = h, g
+	}
+	neg := false
+	if g.IsComplement() {
+		g, h = g.Not(), h.Not()
+		neg = true
+	}
+	if r, ok := m.cache.lookup(opITE, f, g, h); ok {
+		if neg {
+			return r.Not()
+		}
+		return r
+	}
+	top := m.Level(f)
+	if l := m.Level(g); l < top {
+		top = l
+	}
+	if l := m.Level(h); l < top {
+		top = l
+	}
+	fT, fE := m.branches(f, top)
+	gT, gE := m.branches(g, top)
+	hT, hE := m.branches(h, top)
+	t := m.ite(fT, gT, hT)
+	e := m.ite(fE, gE, hE)
+	r := m.mkNode(top, t, e)
+	m.cache.insert(opITE, f, g, h, r)
+	if neg {
+		return r.Not()
+	}
+	return r
+}
+
+// before orders two Refs by (top level, ref value); used only for cache
+// canonicalization of commutative operations.
+func (m *Manager) before(a, b Ref) bool {
+	la, lb := m.Level(a), m.Level(b)
+	if la != lb {
+		return la < lb
+	}
+	return a < b
+}

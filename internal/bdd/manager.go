@@ -1,0 +1,283 @@
+package bdd
+
+import "fmt"
+
+// Manager owns the node arena, the unique table that enforces canonicity,
+// the computed caches, and the external root registry. All Refs are relative
+// to the Manager that produced them; Managers must not be mixed.
+//
+// A Manager is not safe for concurrent use. The minimization experiments are
+// sequential by design (runtimes of individual heuristics are compared), so
+// no internal locking is provided; callers that want parallelism use one
+// Manager per goroutine.
+type Manager struct {
+	nodes   []node
+	free    []uint32 // recycled node indexes (from GC)
+	buckets []uint32 // unique-table heads, value = node index + 1
+	mask    uint32   // len(buckets) - 1
+	live    int      // number of live nodes, including the terminal
+
+	nvars int
+	names []string
+
+	cache computedCache
+
+	roots map[Ref]int // external references with counts
+
+	// statistics
+	stGCRuns    int
+	stNodesMade uint64
+}
+
+// Config carries optional Manager tuning knobs. The zero value selects
+// reasonable defaults.
+type Config struct {
+	// InitialBuckets is the starting size of the unique table (rounded up
+	// to a power of two). Default 1 << 12.
+	InitialBuckets int
+	// CacheBits selects the computed-cache size as 1 << CacheBits entries.
+	// Default 16.
+	CacheBits int
+}
+
+// New creates a Manager with nvars variables, numbered 0..nvars-1 in order
+// from the top of the diagram down.
+func New(nvars int) *Manager {
+	return NewWithConfig(nvars, Config{})
+}
+
+// NewWithConfig creates a Manager with explicit tuning parameters.
+func NewWithConfig(nvars int, cfg Config) *Manager {
+	if nvars < 0 {
+		panic("bdd: negative variable count")
+	}
+	nb := cfg.InitialBuckets
+	if nb <= 0 {
+		nb = 1 << 12
+	}
+	nb = ceilPow2(nb)
+	cb := cfg.CacheBits
+	if cb <= 0 {
+		cb = 16
+	}
+	m := &Manager{
+		buckets: make([]uint32, nb),
+		mask:    uint32(nb - 1),
+		nvars:   nvars,
+		roots:   make(map[Ref]int),
+	}
+	m.cache.init(cb)
+	// Node 0 is the terminal.
+	m.nodes = append(m.nodes, node{level: terminalLevel})
+	m.live = 1
+	return m
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NumVars returns the number of variables managed.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// AddVar appends a new variable at the bottom of the order and returns it.
+func (m *Manager) AddVar() Var {
+	v := Var(m.nvars)
+	m.nvars++
+	return v
+}
+
+// SetVarName attaches a human-readable name to v, used by DOT export and
+// cube formatting.
+func (m *Manager) SetVarName(v Var, name string) {
+	for len(m.names) <= int(v) {
+		m.names = append(m.names, "")
+	}
+	m.names[v] = name
+}
+
+// VarName returns the name attached to v, or a generated "x<i>" fallback.
+func (m *Manager) VarName(v Var) string {
+	if int(v) < len(m.names) && m.names[v] != "" {
+		return m.names[v]
+	}
+	return fmt.Sprintf("x%d", v)
+}
+
+// NumNodes returns the number of live nodes in the arena, including the
+// terminal node.
+func (m *Manager) NumNodes() int { return m.live }
+
+// NodesMade returns the cumulative number of node allocations performed,
+// a rough work measure used by benchmarks.
+func (m *Manager) NodesMade() uint64 { return m.stNodesMade }
+
+// Level returns the level of f's top variable, or a value greater than any
+// variable level if f is constant.
+func (m *Manager) Level(f Ref) int32 { return m.nodes[f.index()].level }
+
+// TopVar returns f's top variable. It panics if f is constant.
+func (m *Manager) TopVar(f Ref) Var {
+	l := m.Level(f)
+	if l == terminalLevel {
+		panic("bdd: TopVar of constant")
+	}
+	return Var(l)
+}
+
+// MkVar returns the function of the single positive literal v.
+func (m *Manager) MkVar(v Var) Ref {
+	m.checkVar(v)
+	return m.mkNode(int32(v), One, Zero)
+}
+
+// MkNotVar returns the function of the single negative literal v.
+func (m *Manager) MkNotVar(v Var) Ref { return m.MkVar(v).Not() }
+
+// MkLiteral returns the function of the given literal.
+func (m *Manager) MkLiteral(l Literal) Ref {
+	if l.Phase {
+		return m.MkVar(l.Var)
+	}
+	return m.MkNotVar(l.Var)
+}
+
+func (m *Manager) checkVar(v Var) {
+	if int(v) < 0 || int(v) >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable x%d out of range [0,%d)", v, m.nvars))
+	}
+}
+
+// checkRef validates that f points into the arena; used by exported entry
+// points to catch cross-manager Refs early.
+func (m *Manager) checkRef(f Ref) {
+	if int(f.index()) >= len(m.nodes) {
+		panic(fmt.Sprintf("bdd: foreign or stale Ref %d", f))
+	}
+}
+
+// mkNode returns the canonical node (level, high, low), applying the
+// deletion rule (equal children) and the complement-edge normalization
+// (high edge never complemented), and hash-consing through the unique
+// table (merging rule).
+func (m *Manager) mkNode(level int32, high, low Ref) Ref {
+	if high == low {
+		return high
+	}
+	neg := false
+	if high.IsComplement() {
+		high = high.Not()
+		low = low.Not()
+		neg = true
+	}
+	h := hash3(uint32(level), uint32(high), uint32(low)) & m.mask
+	for i := m.buckets[h]; i != 0; i = m.nodes[i-1].next {
+		n := &m.nodes[i-1]
+		if n.level == level && n.high == high && n.low == low {
+			r := Ref((i - 1) << 1)
+			if neg {
+				r = r.Not()
+			}
+			return r
+		}
+	}
+	var idx uint32
+	if len(m.free) > 0 {
+		idx = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.nodes[idx] = node{level: level, high: high, low: low, next: m.buckets[h]}
+	} else {
+		idx = uint32(len(m.nodes))
+		m.nodes = append(m.nodes, node{level: level, high: high, low: low, next: m.buckets[h]})
+	}
+	m.buckets[h] = idx + 1
+	m.live++
+	m.stNodesMade++
+	if m.live > len(m.buckets)*2 {
+		m.growBuckets()
+	}
+	r := Ref(idx << 1)
+	if neg {
+		r = r.Not()
+	}
+	return r
+}
+
+func (m *Manager) growBuckets() {
+	nb := len(m.buckets) * 2
+	m.buckets = make([]uint32, nb)
+	m.mask = uint32(nb - 1)
+	m.rehash()
+}
+
+// rehash rebuilds the unique table from the live arena contents. Dead
+// nodes (present in the free list) are skipped via the alive bitmap
+// computed from chain reconstruction: callers must guarantee that every
+// node outside the free list is valid.
+func (m *Manager) rehash() {
+	for i := range m.buckets {
+		m.buckets[i] = 0
+	}
+	dead := make(map[uint32]bool, len(m.free))
+	for _, i := range m.free {
+		dead[i] = true
+	}
+	for i := 1; i < len(m.nodes); i++ {
+		if dead[uint32(i)] {
+			continue
+		}
+		n := &m.nodes[i]
+		h := hash3(uint32(n.level), uint32(n.high), uint32(n.low)) & m.mask
+		n.next = m.buckets[h]
+		m.buckets[h] = uint32(i) + 1
+	}
+}
+
+// hash3 mixes three words; a small multiplicative scheme that spreads the
+// low bits well enough for power-of-two tables.
+func hash3(a, b, c uint32) uint32 {
+	h := a*0x9e3779b1 ^ b*0x85ebca77 ^ c*0xc2b2ae3d
+	h ^= h >> 15
+	h *= 0x27d4eb2f
+	h ^= h >> 13
+	return h
+}
+
+// branches returns the cofactors of f with respect to the variable at
+// level. If f's top level is below level (f does not depend on the
+// variable), both cofactors are f itself; this mirrors bdd_get_branches in
+// the paper's Figure 2.
+func (m *Manager) branches(f Ref, level int32) (high, low Ref) {
+	n := &m.nodes[f.index()]
+	if n.level != level {
+		return f, f
+	}
+	if f.IsComplement() {
+		return n.high.Not(), n.low.Not()
+	}
+	return n.high, n.low
+}
+
+// Branches exposes the cofactors of f by its own top variable. For a
+// constant it returns (f, f).
+func (m *Manager) Branches(f Ref) (high, low Ref) {
+	m.checkRef(f)
+	return m.branches(f, m.Level(f))
+}
+
+// MkNode builds the function "if v then high else low". It panics unless
+// both children are independent of variables at or above v's level,
+// preserving the ordering invariant.
+func (m *Manager) MkNode(v Var, high, low Ref) Ref {
+	m.checkVar(v)
+	m.checkRef(high)
+	m.checkRef(low)
+	if m.Level(high) <= int32(v) || m.Level(low) <= int32(v) {
+		panic("bdd: MkNode children must be below the node variable")
+	}
+	return m.mkNode(int32(v), high, low)
+}

@@ -1,0 +1,126 @@
+package bdd
+
+// And returns the conjunction f·g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, Zero) }
+
+// Or returns the disjunction f + g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, One, g) }
+
+// Xor returns the exclusive or f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, g.Not(), g) }
+
+// Xnor returns the equivalence f ≡ g.
+func (m *Manager) Xnor(f, g Ref) Ref { return m.ITE(f, g, g.Not()) }
+
+// AndNot returns f·¬g, the difference of f and g.
+func (m *Manager) AndNot(f, g Ref) Ref { return m.ITE(f, g.Not(), Zero) }
+
+// Implies returns the function ¬f + g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, One) }
+
+// AndN folds And over its arguments; AndN() is One.
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := One
+	for _, f := range fs {
+		r = m.And(r, f)
+		if r == Zero {
+			return Zero
+		}
+	}
+	return r
+}
+
+// OrN folds Or over its arguments; OrN() is Zero.
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := Zero
+	for _, f := range fs {
+		r = m.Or(r, f)
+		if r == One {
+			return One
+		}
+	}
+	return r
+}
+
+// Leq reports whether f ≤ g pointwise, i.e. f implies g. This is the
+// containment test used to verify covers of incompletely specified
+// functions: g covers [f, c] iff f·c ≤ g ≤ f + ¬c.
+func (m *Manager) Leq(f, g Ref) bool {
+	// f ≤ g  ⇔  f·¬g = 0. Use a dedicated recursion with early exit
+	// rather than materializing the conjunction.
+	return m.disjoint(f, g.Not())
+}
+
+// Disjoint reports whether f·g = 0 without building the product BDD.
+func (m *Manager) Disjoint(f, g Ref) bool {
+	m.checkRef(f)
+	m.checkRef(g)
+	return m.disjoint(f, g)
+}
+
+func (m *Manager) disjoint(f, g Ref) bool {
+	if f == Zero || g == Zero {
+		return true
+	}
+	if f == One || g == One {
+		return false
+	}
+	if f == g {
+		return false
+	}
+	if f == g.Not() {
+		return true
+	}
+	// Reuse the computed cache through an AND probe when available: a
+	// cached conjunction answers the question for free.
+	if r, ok := m.cacheAndProbe(f, g); ok {
+		return r == Zero
+	}
+	top := m.Level(f)
+	if l := m.Level(g); l < top {
+		top = l
+	}
+	fT, fE := m.branches(f, top)
+	gT, gE := m.branches(g, top)
+	return m.disjoint(fT, gT) && m.disjoint(fE, gE)
+}
+
+// cacheAndProbe checks whether the conjunction of f and g is already in the
+// computed cache under ITE normalization, without performing any work.
+func (m *Manager) cacheAndProbe(f, g Ref) (Ref, bool) {
+	h := Zero
+	// Mirror the AND branch of the ITE normalizer.
+	if m.before(g, f) {
+		f, g = g, f
+	}
+	if f.IsComplement() {
+		f, g, h = f.Not(), h, g
+	}
+	neg := false
+	if g.IsComplement() {
+		g, h = g.Not(), h.Not()
+		neg = true
+	}
+	if r, ok := m.cache.lookup(opITE, f, g, h); ok {
+		if neg {
+			return r.Not(), true
+		}
+		return r, true
+	}
+	return 0, false
+}
+
+// Cover reports whether g is a cover of the incompletely specified
+// function [f, c], i.e. f·c ≤ g ≤ f + ¬c (Definition 2 of the paper).
+func (m *Manager) Cover(g, f, c Ref) bool {
+	return m.disjoint(m.And(f, c), g.Not()) && m.disjoint(g, m.And(f.Not(), c))
+}
+
+// Equal reports whether f and g denote the same function. With strong
+// canonicity this is a Ref comparison; the method exists for readability
+// and to keep call sites manager-checked.
+func (m *Manager) Equal(f, g Ref) bool {
+	m.checkRef(f)
+	m.checkRef(g)
+	return f == g
+}

@@ -1,0 +1,141 @@
+package bdd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := newRand(70)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := New(n)
+		a, b := randTT(rng, n), randTT(rng, n)
+		fa, fb := a.build(m), b.build(m)
+		var sb strings.Builder
+		if err := m.WriteFunctions(&sb, map[string]Ref{"a": fa, "b": fb, "nb": fb.Not()}); err != nil {
+			t.Fatal(err)
+		}
+		// Reload into a fresh manager and compare semantics.
+		m2 := New(n)
+		got, err := m2.ReadFunctions(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reload: %v\n%s", err, sb.String())
+		}
+		sameFunction(t, m2, got["a"], a, "a")
+		sameFunction(t, m2, got["b"], b, "b")
+		if got["nb"] != got["b"].Not() {
+			t.Fatal("complement relationship lost")
+		}
+		// Reload into the same manager: must unify with the originals.
+		back, err := m.ReadFunctions(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back["a"] != fa || back["b"] != fb {
+			t.Fatal("reload into the source manager must be identity")
+		}
+	}
+}
+
+func TestSerializePreservesSharing(t *testing.T) {
+	m := New(4)
+	shared := m.Xor(m.MkVar(2), m.MkVar(3))
+	f := m.And(m.MkVar(0), shared)
+	g := m.Or(m.MkVar(1), shared)
+	var sb strings.Builder
+	if err := m.WriteFunctions(&sb, map[string]Ref{"f": f, "g": g}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(4)
+	got, err := m2.ReadFunctions(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.SharedSize(got["f"], got["g"]) != m.SharedSize(f, g) {
+		t.Fatal("sharing must survive serialization")
+	}
+}
+
+func TestSerializeConstants(t *testing.T) {
+	m := New(1)
+	var sb strings.Builder
+	if err := m.WriteFunctions(&sb, map[string]Ref{"one": One, "zero": Zero}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(1).ReadFunctions(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["one"] != One || got["zero"] != Zero {
+		t.Fatal("constants")
+	}
+}
+
+func TestSerializeRejectsBadInput(t *testing.T) {
+	m := New(2)
+	cases := map[string]string{
+		"bad header":      "nope 1\n",
+		"bad version":     "bddmin-bdd 9\nvars 2\nnodes 0\nroots 0\n",
+		"too many vars":   "bddmin-bdd 1\nvars 9\nnodes 0\nroots 0\n",
+		"forward ref":     "bddmin-bdd 1\nvars 2\nnodes 1\n0 4 0\nroots 0\n",
+		"bad level":       "bddmin-bdd 1\nvars 2\nnodes 1\n7 0 1\nroots 0\n",
+		"order violation": "bddmin-bdd 1\nvars 2\nnodes 2\n1 0 1\n1 2 1\nroots 0\n",
+		"truncated":       "bddmin-bdd 1\nvars 2\nnodes 3\n1 0 1\n",
+	}
+	for name, src := range cases {
+		if _, err := m.ReadFunctions(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if err := m.WriteFunctions(&strings.Builder{}, map[string]Ref{"bad name": One}); err == nil {
+		t.Error("root names with spaces must be rejected")
+	}
+}
+
+func TestCheckInvariantsOnHealthyManagers(t *testing.T) {
+	rng := newRand(71)
+	m := New(8)
+	for i := 0; i < 30; i++ {
+		f := randTT(rng, 8).build(m)
+		if i%3 == 0 {
+			m.Protect(f)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.GC()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after GC: %v", err)
+	}
+	// Allocate into freed slots and re-check.
+	for i := 0; i < 10; i++ {
+		randTT(rng, 8).build(m)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after reuse: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	m := New(3)
+	f := m.And(m.MkVar(0), m.MkVar(1))
+	_ = f
+	// Corrupt a node's high edge to be complemented.
+	idx := f.index()
+	m.nodes[idx].high = m.nodes[idx].high.Not()
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("complemented high edge must be detected")
+	}
+	m.nodes[idx].high = m.nodes[idx].high.Not() // restore
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal("restore failed")
+	}
+	// Corrupt the live counter.
+	m.live++
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("bad live count must be detected")
+	}
+	m.live--
+}

@@ -1,0 +1,52 @@
+package bdd
+
+// FromTruthTable builds the function over vars whose binary decision tree
+// has the given leaf values, listed left to right with the convention of
+// the paper's Figure 1c: the first variable in vars is the root, and within
+// each node the left branch is the 0 (else) branch. Therefore leaf k holds
+// the value of the function at the assignment whose bit for vars[i] is bit
+// (len(vars)-1-i) of k, i.e. vars[0] is the most significant bit.
+//
+// len(vals) must be a power of two equal to 1<<len(vars), and vars must be
+// listed in ascending level order.
+func (m *Manager) FromTruthTable(vars []Var, vals []bool) Ref {
+	if len(vals) != 1<<len(vars) {
+		panic("bdd: truth table size must be 1<<len(vars)")
+	}
+	for i := 1; i < len(vars); i++ {
+		if vars[i] <= vars[i-1] {
+			panic("bdd: truth table variables must be strictly ascending")
+		}
+	}
+	return m.fromTT(vars, vals)
+}
+
+func (m *Manager) fromTT(vars []Var, vals []bool) Ref {
+	if len(vars) == 0 {
+		if vals[0] {
+			return One
+		}
+		return Zero
+	}
+	half := len(vals) / 2
+	e := m.fromTT(vars[1:], vals[:half])
+	t := m.fromTT(vars[1:], vals[half:])
+	return m.mkNode(int32(vars[0]), t, e)
+}
+
+// TruthTable evaluates f on every assignment of vars (which must include
+// f's support) and returns the leaf values in the same left-to-right
+// convention accepted by FromTruthTable.
+func (m *Manager) TruthTable(f Ref, vars []Var) []bool {
+	m.checkRef(f)
+	n := len(vars)
+	out := make([]bool, 1<<n)
+	asn := make([]bool, m.nvars)
+	for k := range out {
+		for i, v := range vars {
+			asn[v] = k&(1<<(n-1-i)) != 0
+		}
+		out[k] = m.Eval(f, asn)
+	}
+	return out
+}

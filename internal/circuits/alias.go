@@ -1,0 +1,6 @@
+package circuits
+
+import "bddmin/internal/logic"
+
+// network aliases logic.Network so the suite table stays concise.
+type network = logic.Network

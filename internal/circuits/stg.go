@@ -1,0 +1,70 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bddmin/internal/logic"
+)
+
+// RandomSTG generates a deterministic random state transition graph in
+// KISS2 form and synthesizes it with binary state encoding — the pipeline
+// the MCNC FSM benchmarks (scf, styr, tbk) went through. Each state's
+// input space is split on a small random subset of the inputs (the rest
+// are '-' don't cares, as in real STGs), and each resulting cube gets a
+// random successor and output cube, with occasional '-' output don't
+// cares. The same parameters always produce the same machine.
+func RandomSTG(name string, seed int64, states, inputs, outputs int) *logic.Network {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, ".i %d\n.o %d\n.s %d\n.r s0\n", inputs, outputs, states)
+	for s := 0; s < states; s++ {
+		// Split on 1..2 distinct input variables.
+		nSplit := 1 + rng.Intn(2)
+		split := rng.Perm(inputs)[:nSplit]
+		for mask := 0; mask < 1<<nSplit; mask++ {
+			cube := []byte(strings.Repeat("-", inputs))
+			for j, v := range split {
+				if mask&(1<<j) != 0 {
+					cube[v] = '1'
+				} else {
+					cube[v] = '0'
+				}
+			}
+			// Successors biased toward nearby states so the STG has a
+			// long diameter (real controllers chain through phases).
+			var to int
+			switch rng.Intn(4) {
+			case 0:
+				to = rng.Intn(states)
+			case 1:
+				to = s // self loop
+			default:
+				to = (s + 1 + rng.Intn(3)) % states
+			}
+			out := make([]byte, outputs)
+			for j := range out {
+				switch rng.Intn(6) {
+				case 0:
+					out[j] = '-'
+				case 1, 2:
+					out[j] = '1'
+				default:
+					out[j] = '0'
+				}
+			}
+			fmt.Fprintf(&b, "%s s%d s%d %s\n", cube, s, to, out)
+		}
+	}
+	b.WriteString(".e\n")
+	k, err := logic.ParseKISSString(b.String())
+	if err != nil {
+		panic(fmt.Sprintf("circuits: generated STG invalid: %v", err))
+	}
+	net, err := k.Synthesize(name)
+	if err != nil {
+		panic(fmt.Sprintf("circuits: generated STG does not synthesize: %v", err))
+	}
+	return net
+}

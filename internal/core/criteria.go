@@ -1,0 +1,114 @@
+package core
+
+import "bddmin/internal/bdd"
+
+// Criterion is a matching criterion between incompletely specified
+// functions (Definition 5 of the paper). The criteria form a strength
+// hierarchy: an OSDM match implies an OSM match implies a TSM match.
+type Criterion int
+
+// The three matching criteria of the paper, in increasing strength.
+const (
+	// OSDM (one-sided don't-care match): [f1,c1] matches [f2,c2] iff
+	// c1 = 0, i.e. the first function is don't care everywhere.
+	// Transitive, neither reflexive nor symmetric.
+	OSDM Criterion = iota
+	// OSM (one-sided match): the functions can be made equal by assigning
+	// don't cares of only the first, and the first's DC set contains the
+	// second's: f1⊕f2 ≤ ¬c1 and ¬c1 ⊇ ¬c2. Reflexive and transitive, not
+	// symmetric.
+	OSM
+	// TSM (two-sided match): the functions can be made equal using don't
+	// cares from both sides: f1⊕f2 ≤ ¬c1 + ¬c2. Reflexive and symmetric,
+	// not transitive.
+	TSM
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case OSDM:
+		return "osdm"
+	case OSM:
+		return "osm"
+	case TSM:
+		return "tsm"
+	}
+	return "invalid"
+}
+
+// Matches reports whether a matches b under the criterion. Note the
+// asymmetry for OSDM and OSM: Matches(m, OSM, a, b) means a can be replaced
+// by b's i-cover.
+func (cr Criterion) Matches(m *bdd.Manager, a, b ISF) bool {
+	switch cr {
+	case OSDM:
+		return a.C == bdd.Zero
+	case OSM:
+		return m.Disjoint(m.Xor(a.F, b.F), a.C) && m.Leq(a.C, b.C)
+	case TSM:
+		return m.Disjoint(m.And(m.Xor(a.F, b.F), a.C), b.C)
+	}
+	panic("core: invalid criterion")
+}
+
+// ICover returns the common i-cover produced when a matches b under the
+// criterion (Section 3.1.1). Any cover of the result is a cover of both a
+// and b. The don't-care part is kept maximal: a DC point that need not be
+// assigned to make the match is left unassigned, which in particular makes
+// the TSM i-cover of two ISFs with identical function parts keep that
+// function part (this realizes the paper's Table 2 identities 10≡9 and
+// 12≡11: no-new-vars has no effect on TSM).
+func (cr Criterion) ICover(m *bdd.Manager, a, b ISF) ISF {
+	switch cr {
+	case OSDM, OSM:
+		return b
+	case TSM:
+		if a.F == b.F {
+			return ISF{F: a.F, C: m.Or(a.C, b.C)}
+		}
+		return ISF{
+			F: m.Or(m.And(a.F, a.C), m.And(b.F, b.C)),
+			C: m.Or(a.C, b.C),
+		}
+	}
+	panic("core: invalid criterion")
+}
+
+// Reflexive reports whether the criterion is a reflexive relation
+// (Table 1).
+func (cr Criterion) Reflexive() bool { return cr == OSM || cr == TSM }
+
+// Symmetric reports whether the criterion is a symmetric relation
+// (Table 1).
+func (cr Criterion) Symmetric() bool { return cr == TSM }
+
+// Transitive reports whether the criterion is a transitive relation
+// (Table 1).
+func (cr Criterion) Transitive() bool { return cr == OSDM || cr == OSM }
+
+// Criteria lists the three criteria in the paper's order.
+func Criteria() []Criterion { return []Criterion{OSDM, OSM, TSM} }
+
+// matchSiblings implements is_match of Figure 2: given the two sibling
+// ISFs T = [fT, cT] and E = [fE, cE] of a node, it attempts a match under
+// the criterion. With compl false it tries T against E in both directions
+// (TSM is symmetric, so one test suffices); on success the common i-cover
+// replaces the parent. With compl true it matches T against the complement
+// of E: the returned i-cover ic has the property that for any cover h of
+// ic, the parent can be rebuilt as ite(x, h, ¬h).
+func matchSiblings(m *bdd.Manager, cr Criterion, compl bool, tp, ep ISF) (ISF, bool) {
+	b := ep
+	if compl {
+		b = ISF{F: ep.F.Not(), C: ep.C}
+	}
+	if cr.Matches(m, tp, b) {
+		return cr.ICover(m, tp, b), true
+	}
+	if cr == TSM {
+		return ISF{}, false // symmetric: the single test is conclusive
+	}
+	if cr.Matches(m, b, tp) {
+		return cr.ICover(m, b, tp), true
+	}
+	return ISF{}, false
+}

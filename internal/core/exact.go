@@ -1,0 +1,44 @@
+package core
+
+import "bddmin/internal/bdd"
+
+// ExactMinimize solves the exact BDD minimization (EBM) problem by brute
+// force: it enumerates every cover of [f, c] over the variables 0..n-1 by
+// assigning all combinations of values to the don't-care minterms and
+// returns a minimum-size cover. The cost is O(2^d) BDD constructions for d
+// don't-care minterms, so this is strictly a test oracle and
+// small-instance tool; it panics if d exceeds 20.
+//
+// The decision version of EBM is in NP (Proposition 4); no polynomial
+// exact algorithm is known.
+func ExactMinimize(m *bdd.Manager, f, c bdd.Ref, n int) (g bdd.Ref, size int) {
+	vs := make([]bdd.Var, n)
+	for i := range vs {
+		vs[i] = bdd.Var(i)
+	}
+	fBits := m.TruthTable(f, vs)
+	cBits := m.TruthTable(c, vs)
+	var dcPos []int
+	for i, care := range cBits {
+		if !care {
+			dcPos = append(dcPos, i)
+		}
+	}
+	if len(dcPos) > 20 {
+		panic("core: ExactMinimize limited to 20 don't-care minterms")
+	}
+	best := bdd.Zero
+	bestSize := 1 << 30
+	vals := make([]bool, len(fBits))
+	for mask := 0; mask < 1<<len(dcPos); mask++ {
+		copy(vals, fBits)
+		for j, p := range dcPos {
+			vals[p] = mask&(1<<j) != 0
+		}
+		cand := m.FromTruthTable(vs, vals)
+		if s := m.Size(cand); s < bestSize {
+			best, bestSize = cand, s
+		}
+	}
+	return best, bestSize
+}

@@ -1,0 +1,102 @@
+package core
+
+import "bddmin/internal/bdd"
+
+// LowerBoundLargeCubes is the variant of the lower bound suggested in
+// Section 4.1.1: instead of taking the first cubes in depth-first order,
+// "look for large cubes (ones with few literals) by finding short paths
+// from the root of c to the constant 1". A larger cube constrains less,
+// so |constrain(f, p)| tends to be bigger, tightening the bound for the
+// same cube budget.
+//
+// Cube enumeration is guided by a memoized shortest-distance-to-One
+// metric: at every node the branch with the smaller remaining literal
+// count is explored first, so large cubes surface early (greedy, not a
+// strict shortest-path order — the guidance is a heuristic, exactly in
+// the spirit of the paper's remark).
+func LowerBoundLargeCubes(m *bdd.Manager, f, c bdd.Ref, maxCubes int) int {
+	if c == bdd.Zero {
+		return 1
+	}
+	dist := make(map[bdd.Ref]int)
+	best := 1
+	count := 0
+	cube := make([]bdd.CubeValue, m.NumVars())
+	for i := range cube {
+		cube[i] = bdd.DontCare
+	}
+	var walk func(g bdd.Ref) bool
+	walk = func(g bdd.Ref) bool {
+		if g == bdd.Zero {
+			return true
+		}
+		if g == bdd.One {
+			p := m.CubeRef(cube)
+			if s := m.Size(m.Constrain(f, p)); s > best {
+				best = s
+			}
+			count++
+			return maxCubes <= 0 || count < maxCubes
+		}
+		v := m.TopVar(g)
+		t, e := m.Branches(g)
+		first, second := t, e
+		fv, sv := bdd.CubeOne, bdd.CubeZero
+		if minLiterals(m, dist, e) < minLiterals(m, dist, t) {
+			first, second = e, t
+			fv, sv = bdd.CubeZero, bdd.CubeOne
+		}
+		cube[v] = fv
+		ok := walk(first)
+		if ok {
+			cube[v] = sv
+			ok = walk(second)
+		}
+		cube[v] = bdd.DontCare
+		return ok
+	}
+	walk(c)
+	return best
+}
+
+// minLiterals returns the minimum number of literals on any 1-path from g,
+// memoized on the full (complement-carrying) reference.
+func minLiterals(m *bdd.Manager, memo map[bdd.Ref]int, g bdd.Ref) int {
+	const inf = 1 << 30
+	switch g {
+	case bdd.One:
+		return 0
+	case bdd.Zero:
+		return inf
+	}
+	if d, ok := memo[g]; ok {
+		return d
+	}
+	memo[g] = inf // cycle guard (BDDs are acyclic; this is belt and braces)
+	t, e := m.Branches(g)
+	dt, de := minLiterals(m, memo, t), minLiterals(m, memo, e)
+	d := dt
+	if de < d {
+		d = de
+	}
+	if d < inf {
+		d++
+	}
+	memo[g] = d
+	return d
+}
+
+// LowerBoundBest combines the depth-first and large-cube enumerations,
+// splitting the cube budget between them, and returns the tighter bound.
+func LowerBoundBest(m *bdd.Manager, f, c bdd.Ref, maxCubes int) int {
+	half := maxCubes / 2
+	if maxCubes <= 0 {
+		half = 0
+	}
+	a := LowerBound(m, f, c, half)
+	b := LowerBoundLargeCubes(m, f, c, maxCubes-half)
+	if b > a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"sort"
+
+	"bddmin/internal/bdd"
+)
+
+// LevelPair is one incompletely specified subfunction [fj, cj] gathered by
+// CollectLevelPairs, together with the path on which it was first reached
+// (used by the distance weighting of Section 3.3.2).
+type LevelPair struct {
+	ISF
+	// Path holds, for each level above the collection boundary, the value
+	// taken to reach the pair on its first visit (CubeZero, CubeOne, or
+	// DontCare when the variable did not appear on the path — the paper's
+	// "2").
+	Path []bdd.CubeValue
+}
+
+// CollectLevelPairs gathers the incompletely specified subfunctions of
+// [f, c] that are rooted strictly below level i and pointed to from level
+// i or above (Section 3.3.1). The traversal walks f and c in lock-step
+// depth-first order, splitting at the smaller top level, and terminates
+// when both components lie below i. Only unique pairs are recorded, with
+// the path of their first visit.
+//
+// If limit > 0 at most limit pairs are collected (the paper proposes this
+// runtime guard; its experiments ran unlimited, observing a maximum set
+// size of 513).
+func CollectLevelPairs(m *bdd.Manager, in ISF, i bdd.Var, limit int) []LevelPair {
+	c := &collector{
+		m:     m,
+		level: int32(i),
+		limit: limit,
+		seen:  make(map[ISF]bool),
+		path:  make([]bdd.CubeValue, int(i)+1),
+	}
+	for p := range c.path {
+		c.path[p] = bdd.DontCare
+	}
+	c.walk(in)
+	return c.pairs
+}
+
+type collector struct {
+	m     *bdd.Manager
+	level int32
+	limit int
+	seen  map[ISF]bool
+	path  []bdd.CubeValue
+	pairs []LevelPair
+}
+
+// walk returns false when the limit has been hit.
+func (c *collector) walk(in ISF) bool {
+	if c.seen[in] {
+		return true
+	}
+	fl, cl := c.m.Level(in.F), c.m.Level(in.C)
+	top := fl
+	if cl < top {
+		top = cl
+	}
+	if top > c.level {
+		c.seen[in] = true
+		c.pairs = append(c.pairs, LevelPair{
+			ISF:  in,
+			Path: append([]bdd.CubeValue(nil), c.path...),
+		})
+		return c.limit <= 0 || len(c.pairs) < c.limit
+	}
+	c.seen[in] = true
+	fT, fE := branchAt(c.m, in.F, top)
+	cT, cE := branchAt(c.m, in.C, top)
+	c.path[top] = bdd.CubeOne
+	ok := c.walk(ISF{fT, cT})
+	c.path[top] = bdd.CubeZero
+	if ok {
+		ok = c.walk(ISF{fE, cE})
+	}
+	c.path[top] = bdd.DontCare
+	return ok
+}
+
+func branchAt(m *bdd.Manager, f bdd.Ref, top int32) (bdd.Ref, bdd.Ref) {
+	if m.Level(f) != top {
+		return f, f
+	}
+	return m.Branches(f)
+}
+
+// PairDistance is the distance measure of Section 3.3.2 (after Touati et
+// al.) between the first-visit paths of two collected pairs rooted below
+// level k: dist(g,h) = Σ_i |x_i^g − x_i^h| · 2^(k−i−1), summed over the
+// levels i where both paths assign a value. Siblings have distance 1;
+// smaller distances identify "nearby" functions whose matches are
+// preferred when building cliques.
+func PairDistance(a, b LevelPair) uint64 {
+	k := len(a.Path)
+	if len(b.Path) < k {
+		k = len(b.Path)
+	}
+	var d uint64
+	for i := 0; i < k; i++ {
+		va, vb := a.Path[i], b.Path[i]
+		if va == bdd.DontCare || vb == bdd.DontCare {
+			continue
+		}
+		if va != vb {
+			d += uint64(1) << uint(k-i-1)
+		}
+	}
+	return d
+}
+
+// SolveOSMLevel solves the function matching minimization (FMM) problem
+// exactly for the OSM criterion (Proposition 10): build the directed
+// matching graph (DMG) with an edge j→k iff pair j OSM-matches pair k,
+// then map every vertex to a sink reachable from it. The sinks are the
+// minimum set of i-covers. The returned map sends every replaced pair's
+// ISF to its i-cover; unreplaced (sink) pairs are absent.
+func SolveOSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
+	n := len(pairs)
+	match := make([][]bool, n)
+	for j := range match {
+		match[j] = make([]bool, n)
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if j != k && OSM.Matches(m, pairs[j].ISF, pairs[k].ISF) {
+				match[j][k] = true
+			}
+		}
+	}
+	// The DMG of the paper is defined on *distinct* incompletely
+	// specified functions; structurally different pairs can still be
+	// equal as ISFs (same care set, same values on it), in which case
+	// they match each other mutually. Quotient by mutual matching first
+	// (OSM is transitive, so the classes are well defined and the
+	// quotient is a DAG), electing the first member as representative.
+	classOf := make([]int, n)
+	for j := range classOf {
+		classOf[j] = j
+	}
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			if match[j][k] && match[k][j] && classOf[k] == k {
+				classOf[k] = classOf[j]
+			}
+		}
+	}
+	// Map each class to a sink class reachable from it; transitivity
+	// means any single outgoing edge leads toward a sink.
+	sinkOf := make([]int, n)
+	for j := range sinkOf {
+		sinkOf[j] = -1
+	}
+	var follow func(j int) int
+	follow = func(j int) int {
+		j = classOf[j]
+		if sinkOf[j] >= 0 {
+			return sinkOf[j]
+		}
+		sinkOf[j] = j // settle self first; overwritten if an edge leaves the class
+		for k := 0; k < n; k++ {
+			if classOf[k] != j && match[j][k] {
+				sinkOf[j] = follow(k)
+				break
+			}
+		}
+		return sinkOf[j]
+	}
+	repl := make(map[ISF]ISF)
+	for j := 0; j < n; j++ {
+		s := follow(j)
+		if s != j && pairs[j].ISF != pairs[s].ISF {
+			repl[pairs[j].ISF] = pairs[s].ISF
+		}
+	}
+	return repl
+}
+
+// SolveTSMLevel solves FMM for the TSM criterion heuristically via clique
+// partitioning of the undirected matching graph (Theorem 15 reduces exact
+// FMM-TSM to minimum clique cover, which is NP-complete). The
+// implementation uses the two optimizations of Section 3.3.2: seed
+// vertices are processed in decreasing order of degree, and candidate
+// extensions are tried in ascending order of path distance, favoring
+// matches of nearby functions. Each clique is folded into a single common
+// i-cover (Lemma 14 guarantees one exists).
+func SolveTSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
+	cliques := TSMCliqueCover(m, pairs, true)
+	repl := make(map[ISF]ISF)
+	for _, clique := range cliques {
+		if len(clique) < 2 {
+			continue
+		}
+		ic := pairs[clique[0]].ISF
+		for _, v := range clique[1:] {
+			ic = TSM.ICover(m, ic, pairs[v].ISF)
+		}
+		for _, v := range clique {
+			if pairs[v].ISF != ic {
+				repl[pairs[v].ISF] = ic
+			}
+		}
+	}
+	return repl
+}
+
+// TSMCliqueCover partitions the vertices of the undirected TSM matching
+// graph into cliques. With optimized true it applies the degree ordering
+// and distance weighting of Section 3.3.2; with optimized false it scans
+// vertices and extensions in index order (the baseline the paper's
+// optimizations are measured against — see the ablation benchmarks).
+func TSMCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) [][]int {
+	n := len(pairs)
+	adj := make([]map[int]bool, n)
+	deg := make([]int, n)
+	for j := 0; j < n; j++ {
+		adj[j] = make(map[int]bool)
+	}
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			if TSM.Matches(m, pairs[j].ISF, pairs[k].ISF) {
+				adj[j][k] = true
+				adj[k][j] = true
+				deg[j]++
+				deg[k]++
+			}
+		}
+	}
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	if optimized {
+		sort.SliceStable(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+	}
+	covered := make([]bool, n)
+	var cliques [][]int
+	for _, seed := range order {
+		if covered[seed] {
+			continue
+		}
+		clique := []int{seed}
+		covered[seed] = true
+		if optimized {
+			// Section 3.3.2, second optimization: repeatedly take the
+			// lightest outgoing edge of the *current* clique (distance
+			// weight), so nearby functions are matched preferentially.
+			for {
+				bestW, bestDist := -1, uint64(0)
+				for w := range adj[seed] {
+					if covered[w] {
+						continue
+					}
+					ok := true
+					dist := ^uint64(0)
+					for _, u := range clique {
+						if !adj[w][u] {
+							ok = false
+							break
+						}
+						// Weight of edge (u, w); the candidate's weight is
+						// its lightest edge into the clique.
+						if d := PairDistance(pairs[u], pairs[w]); d < dist {
+							dist = d
+						}
+					}
+					if !ok {
+						continue
+					}
+					if bestW < 0 || dist < bestDist || (dist == bestDist && w < bestW) {
+						bestW, bestDist = w, dist
+					}
+				}
+				if bestW < 0 {
+					break
+				}
+				clique = append(clique, bestW)
+				covered[bestW] = true
+			}
+		} else {
+			var cands []int
+			for w := range adj[seed] {
+				if !covered[w] {
+					cands = append(cands, w)
+				}
+			}
+			sort.Ints(cands)
+			for _, w := range cands {
+				if covered[w] {
+					continue
+				}
+				ok := true
+				for _, u := range clique {
+					if !adj[w][u] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					clique = append(clique, w)
+					covered[w] = true
+				}
+			}
+		}
+		cliques = append(cliques, clique)
+	}
+	return cliques
+}
+
+// RebuildWithReplacements reconstructs [f, c] after level matching:
+// whenever the lock-step traversal reaches a collected pair that a match
+// replaced, the replacement i-cover is substituted; the superstructure at
+// and above level i is rebuilt node by node. The result is an i-cover of
+// the input.
+func RebuildWithReplacements(m *bdd.Manager, in ISF, i bdd.Var, repl map[ISF]ISF) ISF {
+	r := &rebuilder{m: m, level: int32(i), repl: repl, memo: make(map[ISF]ISF)}
+	return r.rebuild(in)
+}
+
+type rebuilder struct {
+	m     *bdd.Manager
+	level int32
+	repl  map[ISF]ISF
+	memo  map[ISF]ISF
+}
+
+func (r *rebuilder) rebuild(in ISF) ISF {
+	fl, cl := r.m.Level(in.F), r.m.Level(in.C)
+	top := fl
+	if cl < top {
+		top = cl
+	}
+	if top > r.level {
+		if out, ok := r.repl[in]; ok {
+			return out
+		}
+		return in
+	}
+	if out, ok := r.memo[in]; ok {
+		return out
+	}
+	fT, fE := branchAt(r.m, in.F, top)
+	cT, cE := branchAt(r.m, in.C, top)
+	tr := r.rebuild(ISF{fT, cT})
+	er := r.rebuild(ISF{fE, cE})
+	out := ISF{
+		F: r.m.MkNode(bdd.Var(top), tr.F, er.F),
+		C: r.m.MkNode(bdd.Var(top), tr.C, er.C),
+	}
+	r.memo[in] = out
+	return out
+}
+
+// MinimizeAtLevel performs one round of "minimizing at level i"
+// (Section 3.3): collect the pairs below i, solve FMM under the given
+// criterion (OSM exactly, TSM heuristically), and rebuild. It returns the
+// transformed i-cover and the number of pairs that were replaced.
+//
+// When limit > 0 the collected set is processed in depth-first-order
+// batches of at most limit pairs, the paper's first method for bounding
+// the set size: "when the limit is reached, the resulting set is
+// processed; then the traversal is continued, building a new set", with
+// the advantage that "subfunctions that are nearby in the BDD will be
+// grouped together". Batches are solved independently and the combined
+// replacement map is applied in a single rebuild.
+func MinimizeAtLevel(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int) (ISF, int) {
+	pairs := CollectLevelPairs(m, in, i, 0)
+	if len(pairs) < 2 {
+		return in, 0
+	}
+	solve := func(batch []LevelPair) map[ISF]ISF {
+		switch cr {
+		case OSM:
+			return SolveOSMLevel(m, batch)
+		case TSM:
+			return SolveTSMLevel(m, batch)
+		}
+		panic("core: level matching supports OSM and TSM")
+	}
+	repl := make(map[ISF]ISF)
+	if limit <= 0 || len(pairs) <= limit {
+		repl = solve(pairs)
+	} else {
+		for start := 0; start < len(pairs); start += limit {
+			end := start + limit
+			if end > len(pairs) {
+				end = len(pairs)
+			}
+			for from, to := range solve(pairs[start:end]) {
+				repl[from] = to
+			}
+		}
+	}
+	if len(repl) == 0 {
+		return in, 0
+	}
+	return RebuildWithReplacements(m, in, i, repl), len(repl)
+}
+
+// OptLv is the level-matching heuristic evaluated in the paper ("opt_lv"):
+// it visits the levels in increasing order and matches the functions at
+// each level, then returns the function part of the final i-cover. The
+// paper's configuration uses TSM; the OSM variant (exact FMM per level,
+// Proposition 10, and safe below the level by Theorem 12) is available via
+// the Criterion field.
+type OptLv struct {
+	// Limit bounds the collected set size per level (0 = unlimited, the
+	// paper's configuration).
+	Limit int
+	// UseOSM selects the OSM matching criterion instead of TSM.
+	UseOSM bool
+}
+
+// Name returns "opt_lv" (TSM) or "opt_lv_osm".
+func (o *OptLv) Name() string {
+	if o.UseOSM {
+		return "opt_lv_osm"
+	}
+	return "opt_lv"
+}
+
+// Minimize runs level matching per Section 3.3 at every level, top-down.
+func (o *OptLv) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
+	if c == bdd.Zero {
+		panic("core: opt_lv called with empty care set")
+	}
+	cr := TSM
+	if o.UseOSM {
+		cr = OSM
+	}
+	cur := ISF{f, c}
+	for i := 0; i < m.NumVars(); i++ {
+		if cur.C == bdd.One || cur.F.IsConst() {
+			break
+		}
+		cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit)
+	}
+	return cur.F
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"testing"
+
+	"bddmin/internal/bdd"
+)
+
+func TestCollectLevelPairsBasics(t *testing.T) {
+	m := bdd.New(4)
+	f := m.Or(m.And(m.MkVar(0), m.MkVar(2)), m.And(m.MkVar(1), m.MkVar(3)))
+	c := bdd.One
+	pairs := CollectLevelPairs(m, ISF{f, c}, 1, 0)
+	if len(pairs) == 0 {
+		t.Fatal("expected pairs below level 1")
+	}
+	for _, p := range pairs {
+		fl, cl := m.Level(p.F), m.Level(p.C)
+		if fl <= 1 || cl <= 1 {
+			t.Fatalf("collected pair rooted at level (%d,%d), want both > 1", fl, cl)
+		}
+		if len(p.Path) != 2 {
+			t.Fatalf("path length %d, want 2 (levels 0..1)", len(p.Path))
+		}
+	}
+	// Uniqueness.
+	seen := make(map[ISF]bool)
+	for _, p := range pairs {
+		if seen[p.ISF] {
+			t.Fatal("duplicate pair collected")
+		}
+		seen[p.ISF] = true
+	}
+}
+
+func TestCollectLevelPairsLimit(t *testing.T) {
+	m := bdd.New(6)
+	rng := newRand(300)
+	in := randISF(rng, m, 6)
+	all := CollectLevelPairs(m, in, 2, 0)
+	if len(all) < 3 {
+		t.Skip("instance too small to test the limit")
+	}
+	limited := CollectLevelPairs(m, in, 2, 2)
+	if len(limited) != 2 {
+		t.Fatalf("limited collection returned %d pairs, want 2", len(limited))
+	}
+}
+
+func TestPairDistanceSiblingsIsOne(t *testing.T) {
+	// Figure convention: siblings have distance 1; the paper's worked
+	// example: paths 1000210 and 1201111 have distance 9.
+	a := LevelPair{Path: []bdd.CubeValue{bdd.CubeOne, bdd.CubeZero, bdd.CubeZero, bdd.CubeZero, bdd.DontCare, bdd.CubeOne, bdd.CubeZero}}
+	b := LevelPair{Path: []bdd.CubeValue{bdd.CubeOne, bdd.DontCare, bdd.CubeZero, bdd.CubeOne, bdd.CubeOne, bdd.CubeOne, bdd.CubeOne}}
+	if d := PairDistance(a, b); d != 9 {
+		t.Fatalf("paper's distance example: got %d, want 9", d)
+	}
+	// Siblings: identical path except the last position.
+	s1 := LevelPair{Path: []bdd.CubeValue{bdd.CubeOne, bdd.CubeZero, bdd.CubeOne}}
+	s2 := LevelPair{Path: []bdd.CubeValue{bdd.CubeOne, bdd.CubeZero, bdd.CubeZero}}
+	if d := PairDistance(s1, s2); d != 1 {
+		t.Fatalf("sibling distance: got %d, want 1", d)
+	}
+	if PairDistance(s1, s1) != 0 {
+		t.Fatal("distance to self must be 0")
+	}
+}
+
+func TestSolveOSMLevelSinks(t *testing.T) {
+	// Proposition 10: the number of i-covers equals the number of sinks
+	// of the DMG, and every replaced pair osm-matches its replacement.
+	rng := newRand(301)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		lvl := bdd.Var(rng.Intn(n - 1))
+		pairs := CollectLevelPairs(m, in, lvl, 0)
+		if len(pairs) < 2 {
+			continue
+		}
+		repl := SolveOSMLevel(m, pairs)
+		// Independent oracle for the minimum FMM size (Proposition 10):
+		// the number of sink classes of the DMG quotiented by mutual
+		// matching. A vertex is in a sink class iff every match it makes
+		// is mutual; sink classes are counted up to mutual matching.
+		var sinkReps []int
+		for j := range pairs {
+			isSink := true
+			for k := range pairs {
+				if j == k {
+					continue
+				}
+				if OSM.Matches(m, pairs[j].ISF, pairs[k].ISF) && !OSM.Matches(m, pairs[k].ISF, pairs[j].ISF) {
+					isSink = false
+					break
+				}
+			}
+			if !isSink {
+				continue
+			}
+			dup := false
+			for _, r := range sinkReps {
+				if OSM.Matches(m, pairs[j].ISF, pairs[r].ISF) && OSM.Matches(m, pairs[r].ISF, pairs[j].ISF) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				sinkReps = append(sinkReps, j)
+			}
+		}
+		if got := len(pairs) - len(repl); got != len(sinkReps) {
+			t.Fatalf("FMM(osm) solution size %d, want %d sink classes", got, len(sinkReps))
+		}
+		for from, to := range repl {
+			if !OSM.Matches(m, from, to) {
+				t.Fatal("replacement must be an osm match")
+			}
+		}
+	}
+}
+
+func TestTSMCliqueCoverIsValidPartition(t *testing.T) {
+	rng := newRand(302)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		lvl := bdd.Var(rng.Intn(n - 1))
+		pairs := CollectLevelPairs(m, in, lvl, 0)
+		if len(pairs) < 2 {
+			continue
+		}
+		for _, optimized := range []bool{false, true} {
+			cliques := TSMCliqueCover(m, pairs, optimized)
+			covered := make([]bool, len(pairs))
+			for _, clique := range cliques {
+				for i, v := range clique {
+					if covered[v] {
+						t.Fatal("vertex covered twice")
+					}
+					covered[v] = true
+					for _, u := range clique[i+1:] {
+						if !TSM.Matches(m, pairs[v].ISF, pairs[u].ISF) {
+							t.Fatal("clique members must pairwise tsm-match")
+						}
+					}
+				}
+			}
+			for v, ok := range covered {
+				if !ok {
+					t.Fatalf("vertex %d left uncovered", v)
+				}
+			}
+		}
+	}
+}
+
+func TestTSMCliqueFoldIsCommonICover(t *testing.T) {
+	// Lemma 14 in action: the folded i-cover of a clique covers every
+	// member (checked by enumerating the i-cover's covers on small n).
+	rng := newRand(303)
+	checked := 0
+	for trial := 0; trial < 80 && checked < 25; trial++ {
+		n := 3
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		pairs := CollectLevelPairs(m, in, 0, 0)
+		if len(pairs) < 2 {
+			continue
+		}
+		repl := SolveTSMLevel(m, pairs)
+		for from, to := range repl {
+			checked++
+			allCovers(m, to, n, func(g bdd.Ref) {
+				if !from.Cover(m, g) {
+					t.Fatal("cover of clique i-cover must cover the member")
+				}
+			})
+		}
+	}
+	if checked == 0 {
+		t.Skip("no replacements exercised")
+	}
+}
+
+func TestMinimizeAtLevelProducesICover(t *testing.T) {
+	// The level transformation must produce an i-cover: every cover of
+	// the result covers the original instance.
+	rng := newRand(304)
+	for trial := 0; trial < 60; trial++ {
+		n := 3
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		for _, cr := range []Criterion{OSM, TSM} {
+			for lvl := 0; lvl < n; lvl++ {
+				out, _ := MinimizeAtLevel(m, in, bdd.Var(lvl), cr, 0)
+				allCovers(m, out, n, func(g bdd.Ref) {
+					if !in.Cover(m, g) {
+						t.Fatalf("%v level %d: cover of output is not a cover of input", cr, lvl)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTheorem12OSMPreservesBelowLevelOptimum: after OSM matching at level
+// i, the minimum achievable node count below i over covers of the result
+// equals that of the original (the paper's Theorem 12). Verified by brute
+// force on small instances.
+func TestTheorem12OSMPreservesBelowLevelOptimum(t *testing.T) {
+	rng := newRand(305)
+	minBelow := func(m *bdd.Manager, in ISF, n int, i bdd.Var) int {
+		best := 1 << 30
+		allCovers(m, in, n, func(g bdd.Ref) {
+			if ni := m.NodesBelowLevel(g, i); ni < best {
+				best = ni
+			}
+		})
+		return best
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 3
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		for lvl := 0; lvl < n-1; lvl++ {
+			out, replaced := MinimizeAtLevel(m, in, bdd.Var(lvl), OSM, 0)
+			if replaced == 0 {
+				continue
+			}
+			before := minBelow(m, in, n, bdd.Var(lvl))
+			after := minBelow(m, out, n, bdd.Var(lvl))
+			if after != before {
+				t.Fatalf("Theorem 12 violated at level %d: N_i %d -> %d (trial %d)",
+					lvl, before, after, trial)
+			}
+		}
+	}
+}
+
+func TestRebuildIdentityWhenNoReplacements(t *testing.T) {
+	m := bdd.New(4)
+	rng := newRand(306)
+	in := randISF(rng, m, 4)
+	out := RebuildWithReplacements(m, in, 1, map[ISF]ISF{})
+	if out != in {
+		t.Fatal("rebuild with no replacements must be the identity")
+	}
+}
+
+func TestOptLvReturnsCoverAndShrinks(t *testing.T) {
+	rng := newRand(307)
+	shrunk := false
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		o := &OptLv{}
+		g := o.Minimize(m, in.F, in.C)
+		requireCover(t, m, g, in, "opt_lv")
+		if m.Size(g) < m.Size(in.F) {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Fatal("opt_lv never reduced any instance; something is off")
+	}
+}
+
+func TestOptLvLimit(t *testing.T) {
+	m := bdd.New(6)
+	rng := newRand(308)
+	in := randISF(rng, m, 6)
+	o := &OptLv{Limit: 3}
+	g := o.Minimize(m, in.F, in.C)
+	requireCover(t, m, g, in, "opt_lv limited")
+}
+
+func TestOptLvOSMVariant(t *testing.T) {
+	rng := newRand(309)
+	o := &OptLv{UseOSM: true}
+	if o.Name() != "opt_lv_osm" {
+		t.Fatalf("name = %q", o.Name())
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		g := o.Minimize(m, in.F, in.C)
+		requireCover(t, m, g, in, "opt_lv_osm")
+		// Note: growth is possible — Theorem 12 protects only the nodes
+		// below the matched level; the superstructure can lose sharing.
+	}
+}
+
+func TestMinimizeAtLevelBatchedIsSound(t *testing.T) {
+	// The batched set-limiting method must still produce i-covers, and
+	// with a batch size of 1 it degenerates to no replacements at all
+	// (singleton batches cannot match).
+	rng := newRand(310)
+	for trial := 0; trial < 40; trial++ {
+		n := 3
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		for _, limit := range []int{1, 2, 3, 0} {
+			out, replaced := MinimizeAtLevel(m, in, 0, TSM, limit)
+			if limit == 1 && replaced != 0 {
+				t.Fatal("singleton batches cannot produce matches")
+			}
+			allCovers(m, out, n, func(g bdd.Ref) {
+				if !in.Cover(m, g) {
+					t.Fatalf("limit %d: output not an i-cover", limit)
+				}
+			})
+		}
+	}
+}

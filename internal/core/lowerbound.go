@@ -1,0 +1,31 @@
+package core
+
+import "bddmin/internal/bdd"
+
+// LowerBound computes a lower bound on the minimum BDD size of any cover
+// of [f, c] by the cube-enumeration technique of Section 4.1.1. For every
+// cube p of the care function c (a 1-path of c's BDD), the covers of
+// [f, c] are a subset of the covers of [f, p]; by Theorem 7, constrain is
+// an exact minimizer when the care set is a cube, so |constrain(f, p)| is
+// a lower bound, and the maximum over enumerated cubes is reported.
+//
+// maxCubes limits the enumeration (the paper used 1000 cubes, noting the
+// bound tightened substantially when raised from 10). maxCubes ≤ 0
+// enumerates every cube.
+//
+// The bound is at least 1 (the terminal node exists in every BDD). If c is
+// Zero, 1 is returned (any function, including a constant, covers).
+func LowerBound(m *bdd.Manager, f, c bdd.Ref, maxCubes int) int {
+	if c == bdd.Zero {
+		return 1
+	}
+	best := 1
+	m.ForEachCube(c, maxCubes, func(cube []bdd.CubeValue) bool {
+		p := m.CubeRef(cube)
+		if s := m.Size(m.Constrain(f, p)); s > best {
+			best = s
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"bddmin/internal/bdd"
+)
+
+// TestLowerBoundBelowExactMinimum: the bound must never exceed the true
+// minimum cover size (its whole point).
+func TestLowerBoundBelowExactMinimum(t *testing.T) {
+	rng := newRand(500)
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		_, best := ExactMinimize(m, in.F, in.C, n)
+		lb := LowerBound(m, in.F, in.C, 0)
+		if lb > best {
+			t.Fatalf("lower bound %d exceeds exact minimum %d (trial %d)", lb, best, trial)
+		}
+		if lb < 1 {
+			t.Fatal("lower bound must be at least 1")
+		}
+	}
+}
+
+// TestLowerBoundExactOnCubeCare: when c is itself a cube the enumeration
+// finds it and Theorem 7 makes the bound exact.
+func TestLowerBoundExactOnCubeCare(t *testing.T) {
+	rng := newRand(501)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		m := bdd.New(n)
+		f := randFunc(rng, m, n)
+		cube := make([]bdd.CubeValue, n)
+		for v := range cube {
+			cube[v] = bdd.CubeValue(rng.Intn(3))
+		}
+		c := m.CubeRef(cube)
+		if c == bdd.Zero {
+			continue
+		}
+		_, best := ExactMinimize(m, f, c, n)
+		if lb := LowerBound(m, f, c, 0); lb != best {
+			t.Fatalf("cube care set: lower bound %d, exact %d", lb, best)
+		}
+	}
+}
+
+// TestLowerBoundMonotoneInBudget: enumerating more cubes can only tighten
+// (raise) the bound — the paper observed the bound rising when the limit
+// went from 10 to 1000 cubes.
+func TestLowerBoundMonotoneInBudget(t *testing.T) {
+	rng := newRand(502)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		lb1 := LowerBound(m, in.F, in.C, 1)
+		lb10 := LowerBound(m, in.F, in.C, 10)
+		lbAll := LowerBound(m, in.F, in.C, 0)
+		if lb1 > lb10 || lb10 > lbAll {
+			t.Fatalf("bound not monotone in budget: %d, %d, %d", lb1, lb10, lbAll)
+		}
+	}
+}
+
+// TestLowerBoundTrivial: degenerate care sets.
+func TestLowerBoundTrivial(t *testing.T) {
+	m := bdd.New(2)
+	if LowerBound(m, m.MkVar(0), bdd.Zero, 0) != 1 {
+		t.Fatal("empty care set bound must be 1")
+	}
+	f := m.Xor(m.MkVar(0), m.MkVar(1))
+	if lb := LowerBound(m, f, bdd.One, 0); lb != m.Size(f) {
+		t.Fatalf("full care set bound must be |f| = %d, got %d", m.Size(f), lb)
+	}
+}
+
+// TestHeuristicsAboveLowerBound: every heuristic's result is at least the
+// bound (combined soundness of bound and heuristics).
+func TestHeuristicsAboveLowerBound(t *testing.T) {
+	rng := newRand(503)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		lb := LowerBound(m, in.F, in.C, 1000)
+		for _, h := range Registry() {
+			if s := m.Size(h.Minimize(m, in.F, in.C)); s < lb {
+				t.Fatalf("%s produced size %d below the lower bound %d", h.Name(), s, lb)
+			}
+		}
+	}
+}
+
+func TestExactMinimizeFullySpecified(t *testing.T) {
+	m := bdd.New(3)
+	f := m.Or(m.And(m.MkVar(0), m.MkVar(1)), m.MkVar(2))
+	g, size := ExactMinimize(m, f, bdd.One, 3)
+	if g != f || size != m.Size(f) {
+		t.Fatal("fully specified instance must return f itself")
+	}
+}
+
+func TestExactMinimizeRejectsHugeDC(t *testing.T) {
+	m := bdd.New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExactMinimize must reject > 20 DC minterms")
+		}
+	}()
+	ExactMinimize(m, m.MkVar(0), bdd.Zero, 5) // 32 DC minterms
+}

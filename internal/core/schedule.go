@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"bddmin/internal/bdd"
+)
+
+// Scheduler composes the basic transformations per Section 3.4 of the
+// paper: working top-down in windows of levels, it applies the safer
+// transformations first — OSM can lose optimality only in the
+// superstructure above the window (Theorem 12), so spending OSM freedom
+// early is cheap — and the more powerful but less safe TSM afterwards,
+// finally falling back to constrain for the remaining levels, where local
+// assignment is adequate because little sharing remains to be gained.
+//
+// For each window the schedule is:
+//
+//  1. OSM on siblings, top-down, in the window.
+//  2. TSM on siblings, top-down, in the window.
+//  3. OSM on levels, top-down, in the window (skippable: expensive).
+//  4. TSM on levels, top-down, in the window (skippable: expensive).
+//  5. If fewer than StopTopDown levels remain, finish with constrain.
+type Scheduler struct {
+	// WindowSize is the number of levels per window. Values ≤ 0 select 4.
+	WindowSize int
+	// StopTopDown stops the windowed phase when that many levels remain
+	// and finishes with constrain. Values < 0 select 0 (never stop early).
+	StopTopDown int
+	// SkipLevelMatching omits steps 3 and 4, trading quality for runtime
+	// (the paper: "applying minimization at a level is generally
+	// expensive, so steps 4 and 5 should be skipped if runtime is a
+	// concern").
+	SkipLevelMatching bool
+	// LevelLimit bounds the collected set size per level match
+	// (0 = unlimited).
+	LevelLimit int
+}
+
+// Name identifies the scheduler in result tables; it encodes the
+// parameters, e.g. "sched_w4_s0" or "sched_w4_s0_nolv".
+func (s *Scheduler) Name() string {
+	w, st := s.window(), s.stop()
+	name := fmt.Sprintf("sched_w%d_s%d", w, st)
+	if s.SkipLevelMatching {
+		name += "_nolv"
+	}
+	return name
+}
+
+func (s *Scheduler) window() int {
+	if s.WindowSize <= 0 {
+		return 4
+	}
+	return s.WindowSize
+}
+
+func (s *Scheduler) stop() int {
+	if s.StopTopDown < 0 {
+		return 0
+	}
+	return s.StopTopDown
+}
+
+// Minimize runs the schedule and returns a cover of [f, c].
+func (s *Scheduler) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
+	if c == bdd.Zero {
+		panic("core: scheduler called with empty care set")
+	}
+	cur := ISF{f, c}
+	w := s.window()
+	stop := s.stop()
+	n := m.NumVars()
+	for lo := 0; lo < n; lo += w {
+		if cur.C == bdd.One || cur.F.IsConst() {
+			return cur.F
+		}
+		if n-lo <= stop {
+			break
+		}
+		hi := lo + w - 1
+		if hi >= n {
+			hi = n - 1
+		}
+		cur = MatchSiblingsWindow(m, OSM, false, true, cur, bdd.Var(lo), bdd.Var(hi))
+		cur = MatchSiblingsWindow(m, TSM, false, false, cur, bdd.Var(lo), bdd.Var(hi))
+		if !s.SkipLevelMatching {
+			for i := lo; i <= hi && i < n; i++ {
+				if cur.C == bdd.One || cur.F.IsConst() {
+					return cur.F
+				}
+				cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), OSM, s.LevelLimit)
+				cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), TSM, s.LevelLimit)
+			}
+		}
+	}
+	if cur.C == bdd.One || cur.F.IsConst() {
+		return cur.F
+	}
+	if cur.C == bdd.Zero {
+		return cur.F
+	}
+	return m.Constrain(cur.F, cur.C)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bddmin/internal/bdd"
+)
+
+func TestParseSpecBasics(t *testing.T) {
+	m := bdd.New(2)
+	in := MustParseSpec(m, "d1 01")
+	// f has value 1 at minterms 1 and 3, 0 at 2, don't care at 0.
+	if m.Eval(in.C, []bool{false, false}) {
+		t.Fatal("position 0 must be don't care")
+	}
+	for _, tc := range []struct {
+		asn  []bool
+		f, c bool
+	}{
+		{[]bool{false, true}, true, true},
+		{[]bool{true, false}, false, true},
+		{[]bool{true, true}, true, true},
+	} {
+		if m.Eval(in.C, tc.asn) != tc.c || m.Eval(in.F, tc.asn) != tc.f {
+			t.Fatalf("spec mismatch at %v", tc.asn)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	m := bdd.New(2)
+	if _, err := ParseSpec(m, "01x"); err == nil {
+		t.Fatal("invalid character must error")
+	}
+	if _, err := ParseSpec(m, "011"); err == nil {
+		t.Fatal("non-power-of-two length must error")
+	}
+	if _, err := ParseSpec(m, ""); err == nil {
+		t.Fatal("empty spec must error")
+	}
+	if _, err := ParseSpec(m, "01 01 01 01"); err == nil {
+		t.Fatal("spec needing more variables than the manager has must error")
+	}
+	if _, err := ParseFunction(m, "d1 01"); err == nil {
+		t.Fatal("ParseFunction must reject don't cares")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	m := bdd.New(3)
+	for _, spec := range []string{"d1 01", "d1 01 1d 01", "1d d1 d0 0d", "11 11 00 00"} {
+		in := MustParseSpec(m, spec)
+		n := 2
+		if len(strings.ReplaceAll(spec, " ", "")) == 8 {
+			n = 3
+		}
+		if got := FormatSpec(m, in, n); got != spec {
+			t.Fatalf("round trip %q -> %q", spec, got)
+		}
+	}
+}
+
+func TestParseSpecSingleVariable(t *testing.T) {
+	m := bdd.New(1)
+	in := MustParseSpec(m, "01")
+	if in.F != m.MkVar(0) || in.C != bdd.One {
+		t.Fatal("spec 01 must be the single positive literal, fully cared")
+	}
+	in = MustParseSpec(m, "d1")
+	if in.C != m.MkVar(0) {
+		t.Fatal("spec d1 care set must be x0")
+	}
+}
+
+func TestMustParseSpecPanics(t *testing.T) {
+	m := bdd.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseSpec must panic on bad input")
+		}
+	}()
+	MustParseSpec(m, "bogus")
+}

@@ -1,0 +1,468 @@
+package fsm
+
+import (
+	"testing"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/circuits"
+	"bddmin/internal/core"
+	"bddmin/internal/logic"
+)
+
+func toggleNet(t *testing.T, brokenOutput bool) *logic.Network {
+	t.Helper()
+	b := logic.NewBuilder("toggle")
+	in := b.Input("in")
+	q := b.Latch("q", false)
+	b.SetNext(q, b.Xor(in, q))
+	out := b.Xnor(in, q)
+	if brokenOutput {
+		out = b.Xor(in, q)
+	}
+	b.Output("out", out)
+	return b.MustBuild()
+}
+
+func TestSelfEquivalenceToggle(t *testing.T) {
+	m := bdd.New(0)
+	p, err := NewProduct(m, toggleNet(t, false), toggleNet(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{})
+	if !res.Equal || res.Aborted {
+		t.Fatalf("self-equivalence failed: %v", res)
+	}
+	// The two copies stay in lockstep: exactly 2 diagonal states.
+	if res.ReachedStates != 2 {
+		t.Fatalf("reached %v states, want 2", res.ReachedStates)
+	}
+}
+
+func TestInequivalenceDetected(t *testing.T) {
+	m := bdd.New(0)
+	p, err := NewProduct(m, toggleNet(t, false), toggleNet(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{})
+	if res.Equal {
+		t.Fatal("differing machines reported equal")
+	}
+}
+
+func TestInequivalenceDeepInStateSpace(t *testing.T) {
+	// Two counters that diverge only at the terminal count: detected
+	// after several iterations, not at the start.
+	build := func(broken bool) *logic.Network {
+		b := logic.NewBuilder("cnt")
+		en := b.Input("en")
+		qs := make([]*logic.Node, 3)
+		for i := range qs {
+			qs[i] = b.Latch("q"+string(rune('0'+i)), false)
+		}
+		carry := en
+		for i := 0; i < 3; i++ {
+			b.SetNext(qs[i], b.Xor(qs[i], carry))
+			carry = b.And(carry, qs[i])
+		}
+		tc := b.And(qs[0], qs[1], qs[2])
+		if broken {
+			tc = b.And(qs[0], qs[1], qs[2], b.Not(en))
+		}
+		b.Output("tc", tc)
+		return b.MustBuild()
+	}
+	m := bdd.New(0)
+	p, err := NewProduct(m, build(false), build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{})
+	if res.Equal {
+		t.Fatal("divergence at terminal count missed")
+	}
+	if res.Iterations < 3 {
+		t.Fatalf("divergence found suspiciously early (iteration %d)", res.Iterations)
+	}
+}
+
+func TestUnreachableDifferenceIgnored(t *testing.T) {
+	// Machines differing only in an unreachable state are equivalent.
+	build := func(differ bool) *logic.Network {
+		b := logic.NewBuilder("u")
+		in := b.Input("in")
+		q0 := b.Latch("q0", false)
+		q1 := b.Latch("q1", false)
+		// q1 never leaves 0: next is q1 AND q0 AND ... still 0 from init.
+		b.SetNext(q0, b.Xor(in, q0))
+		b.SetNext(q1, b.And(q1, q0))
+		out := b.Xor(in, q0)
+		if differ {
+			// Difference gated on the unreachable q1=1.
+			out = b.Xor(in, q0, q1)
+		}
+		b.Output("o", out)
+		return b.MustBuild()
+	}
+	m := bdd.New(0)
+	p, err := NewProduct(m, build(false), build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{})
+	if !res.Equal {
+		t.Fatal("unreachable difference must not break equivalence")
+	}
+}
+
+// explicitProductReach enumerates the product reachable set explicitly via
+// gate-level simulation; the oracle for the symbolic traversal.
+func explicitProductReach(a, b *logic.Network) map[string]bool {
+	type state struct{ s string }
+	encode := func(sa, sb []bool) string {
+		buf := make([]byte, len(sa)+len(sb))
+		for i, v := range sa {
+			if v {
+				buf[i] = '1'
+			} else {
+				buf[i] = '0'
+			}
+		}
+		for i, v := range sb {
+			if v {
+				buf[len(sa)+i] = '1'
+			} else {
+				buf[len(sa)+i] = '0'
+			}
+		}
+		return string(buf)
+	}
+	ni := a.PrimaryInputCount()
+	start := [2][]bool{logic.InitialState(a), logic.InitialState(b)}
+	seen := map[string]bool{encode(start[0], start[1]): true}
+	queue := [][2][]bool{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for k := 0; k < 1<<ni; k++ {
+			in := make([]bool, ni)
+			for i := range in {
+				in[i] = k&(1<<i) != 0
+			}
+			na, _ := logic.StepState(a, cur[0], in)
+			nb, _ := logic.StepState(b, cur[1], in)
+			key := encode(na, nb)
+			if !seen[key] {
+				seen[key] = true
+				queue = append(queue, [2][]bool{na, nb})
+			}
+		}
+	}
+	_ = state{}
+	return seen
+}
+
+func TestSymbolicReachMatchesExplicit(t *testing.T) {
+	nets := []*logic.Network{
+		toggleNet(t, false),
+		circuits.Counter(3),
+		circuits.TrafficLight(),
+		circuits.LFSR(4, []int{3, 2}),
+		circuits.RandomControlFSM("r1", 11, 4, 3, 2),
+		circuits.RandomControlFSM("r2", 12, 5, 2, 1),
+	}
+	for _, net := range nets {
+		m := bdd.New(0)
+		p, err := NewProduct(m, net, net)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+		res := p.CheckEquivalence(Options{})
+		if !res.Equal {
+			t.Fatalf("%s: self-equivalence failed", net.Name)
+		}
+		want := len(explicitProductReach(net, net))
+		if int(res.ReachedStates) != want {
+			t.Fatalf("%s: symbolic reached %v states, explicit %d", net.Name, res.ReachedStates, want)
+		}
+	}
+}
+
+func TestMinimizeHookReceivesValidInstances(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(4)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	res := p.CheckEquivalence(Options{
+		Minimize: func(mm *bdd.Manager, f, c bdd.Ref) bdd.Ref {
+			calls++
+			if c == bdd.Zero {
+				t.Fatal("empty care set delivered to hook")
+			}
+			// The returned cover must contain f·c; use a different
+			// heuristic than the default to prove the hook is in charge.
+			g := mm.Restrict(f, c)
+			if !mm.Cover(g, f, c) {
+				t.Fatal("restrict result not a cover")
+			}
+			return g
+		},
+	})
+	if !res.Equal {
+		t.Fatal("self-equivalence with restrict hook failed")
+	}
+	if calls == 0 || res.MinimizeCalls != calls {
+		t.Fatalf("hook called %d, recorded %d", calls, res.MinimizeCalls)
+	}
+}
+
+func TestDifferentHooksSameVerdict(t *testing.T) {
+	for _, broken := range []bool{false, true} {
+		var verdicts []bool
+		for _, h := range []core.Minimizer{core.Constrain(), core.Restrict(), core.NewSiblingHeuristic(core.OSM, true, true)} {
+			m := bdd.New(0)
+			p, err := NewProduct(m, circuits.TrafficLight(), trafficMutant(broken))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := p.CheckEquivalence(Options{
+				Minimize: func(mm *bdd.Manager, f, c bdd.Ref) bdd.Ref {
+					return h.Minimize(mm, f, c)
+				},
+			})
+			verdicts = append(verdicts, res.Equal)
+		}
+		for _, v := range verdicts {
+			if v != verdicts[0] {
+				t.Fatal("verdict must be independent of the minimization heuristic")
+			}
+			if v == broken {
+				t.Fatalf("wrong verdict for broken=%v", broken)
+			}
+		}
+	}
+}
+
+func trafficMutant(broken bool) *logic.Network {
+	if !broken {
+		return circuits.TrafficLight()
+	}
+	// Rebuild with an inverted car sensor — observably different.
+	b := logic.NewBuilder("tlc_mut")
+	car := b.Input("car")
+	s0 := b.Latch("s0", false)
+	s1 := b.Latch("s1", false)
+	t0 := b.Latch("t0", false)
+	t1 := b.Latch("t1", false)
+	t2 := b.Latch("t2", false)
+	_ = t2
+	b.SetNext(s0, b.Xor(s0, car))
+	b.SetNext(s1, b.And(s1, s0))
+	b.SetNext(t0, t1)
+	b.SetNext(t1, t0)
+	b.SetNext(t2, t2)
+	b.Output("hl_green", b.And(b.Not(s1), b.Not(s0)))
+	b.Output("hl_yellow", b.And(b.Not(s1), s0))
+	b.Output("fl_green", b.And(s1, b.Not(s0)))
+	b.Output("fl_yellow", b.And(s1, s0))
+	return b.MustBuild()
+}
+
+func TestMaxIterationsAborts(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(6)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{MaxIterations: 3})
+	if !res.Aborted || res.Iterations != 3 {
+		t.Fatalf("abort expected after 3 iterations: %+v", res)
+	}
+}
+
+func TestGCDuringTraversal(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(5)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{GCEvery: 2})
+	if !res.Equal {
+		t.Fatal("GC during traversal broke the check")
+	}
+	if m.GCRuns() == 0 {
+		t.Fatal("expected at least one GC run")
+	}
+	if int(res.ReachedStates) != 32 {
+		t.Fatalf("reached %v, want 32", res.ReachedStates)
+	}
+}
+
+func TestMinimizeTransitionRelation(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(3)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{})
+	// Build the monolithic relation and minimize it against reachability.
+	T := bdd.One
+	for _, r := range p.rels {
+		T = m.And(T, r)
+	}
+	minT := MinimizeTransitionRelation(m, T, res.Reached, nil)
+	if !m.Cover(minT, T, res.Reached) {
+		t.Fatal("minimized relation must cover [T, R]")
+	}
+	if m.Size(minT) > m.Size(T) {
+		t.Fatalf("restrict grew the relation: %d > %d", m.Size(minT), m.Size(T))
+	}
+	if MinimizeTransitionRelation(m, T, bdd.One, nil) != T {
+		t.Fatal("full care set must be identity")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Equal: true, Iterations: 5, ReachedStates: 32, PeakFrontierSize: 7, MinimizeCalls: 4}
+	s := r.String()
+	if s == "" || r.String() != s {
+		t.Fatal("String must be deterministic and nonempty")
+	}
+	r.Equal = false
+	r.Aborted = true
+	if r.String() == s {
+		t.Fatal("verdict must appear in the string")
+	}
+}
+
+func TestImageMethodsAgree(t *testing.T) {
+	// The transition-relation and functional-vector engines must compute
+	// identical reached sets and verdicts.
+	nets := []*logic.Network{
+		circuits.Counter(4),
+		circuits.TrafficLight(),
+		circuits.RandomControlFSM("ia", 21, 5, 3, 2),
+		circuits.MinMax(3),
+	}
+	for _, net := range nets {
+		m1 := bdd.New(0)
+		p1, err := NewProduct(m1, net, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := p1.CheckEquivalence(Options{Method: TransitionRelation})
+		m2 := bdd.New(0)
+		p2, err := NewProduct(m2, net, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 := p2.CheckEquivalence(Options{Method: FunctionalVector})
+		if r1.Equal != r2.Equal || r1.Iterations != r2.Iterations || r1.ReachedStates != r2.ReachedStates {
+			t.Fatalf("%s: engines disagree: TR %v / FV %v", net.Name, r1, r2)
+		}
+	}
+}
+
+func TestImageFVObserverSeesSparseCareSets(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(5)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := 0
+	res := p.CheckEquivalence(Options{
+		OnConstrain: func(mm *bdd.Manager, f, c bdd.Ref) {
+			instances++
+			if c == bdd.Zero {
+				t.Fatal("observer must never see an empty care set")
+			}
+		},
+	})
+	if !res.Equal {
+		t.Fatal("self equivalence")
+	}
+	// 10 next-state functions per iteration (minus all-One frontiers).
+	if instances < 10 {
+		t.Fatalf("observer saw %d instances", instances)
+	}
+}
+
+func TestProductAccessors(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(3)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Initial() == bdd.Zero || !m.IsCube(p.Initial()) {
+		t.Fatal("initial state must be a nonempty cube")
+	}
+	// Bad states exist off the diagonal (copy A ahead of copy B), but
+	// never at the synchronized reset.
+	if !m.Disjoint(p.Bad(), p.Initial()) {
+		t.Fatal("reset state must not miscompare in a self-product")
+	}
+	cube := p.StateVarsCube()
+	if !m.IsCube(cube) || len(m.Support(cube)) != 6 {
+		t.Fatal("state vars cube must cover both copies")
+	}
+}
+
+func TestNewProductRejectsMismatches(t *testing.T) {
+	m := bdd.New(0)
+	if _, err := NewProduct(m, circuits.Counter(3), circuits.TrafficLight()); err == nil {
+		t.Fatal("output count mismatch must be rejected")
+	}
+	if _, err := NewProduct(m, circuits.Counter(3), circuits.MinMax(3)); err == nil {
+		t.Fatal("input count mismatch must be rejected")
+	}
+}
+
+func TestCombinationalEquivalence(t *testing.T) {
+	// Zero-latch networks: the product traversal degenerates to a single
+	// image step and the check becomes combinational equivalence.
+	build := func(demorgan bool) *logic.Network {
+		b := logic.NewBuilder("comb")
+		x := b.Input("x")
+		y := b.Input("y")
+		var f *logic.Node
+		if demorgan {
+			f = b.Not(b.Or(b.Not(x), b.Not(y)))
+		} else {
+			f = b.And(x, y)
+		}
+		b.Output("f", f)
+		return b.MustBuild()
+	}
+	m := bdd.New(0)
+	p, err := NewProduct(m, build(false), build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{})
+	if !res.Equal {
+		t.Fatal("De Morgan forms must be equivalent")
+	}
+	// And a combinational miscompare.
+	bad := logic.NewBuilder("bad")
+	x := bad.Input("x")
+	y := bad.Input("y")
+	bad.Output("f", bad.Or(x, y))
+	m2 := bdd.New(0)
+	p2, err := NewProduct(m2, build(false), bad.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, res2 := p2.FindCounterexample(Options{})
+	if res2.Equal || ce == nil || ce.Length() != 1 {
+		t.Fatalf("combinational difference must give a 1-step counterexample, got %v / %v", ce, res2)
+	}
+}

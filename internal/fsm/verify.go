@@ -1,0 +1,185 @@
+package fsm
+
+import (
+	"fmt"
+
+	"bddmin/internal/bdd"
+)
+
+// MinimizeHook is called at every BFS iteration to choose the set of
+// states to explore from: any cover of the incompletely specified function
+// [f, c] with f = U (the frontier) and c = U + ¬R (don't care on already
+// reached states) is sound. The default is the constrain operator, as in
+// SIS.
+type MinimizeHook func(m *bdd.Manager, f, c bdd.Ref) bdd.Ref
+
+// ImageMethod selects the image computation engine.
+type ImageMethod int
+
+// Image computation engines.
+const (
+	// FunctionalVector computes images as the range of the constrained
+	// next-state vector (Coudert–Berthet–Madre), the method used by the
+	// paper's instrumented application. Its per-latch constrain calls are
+	// reported to Options.OnConstrain. This is the default.
+	FunctionalVector ImageMethod = iota
+	// TransitionRelation computes images by relational product against
+	// clustered per-latch transition relations with early quantification.
+	TransitionRelation
+)
+
+// Options tunes the equivalence check.
+type Options struct {
+	// Minimize replaces the default frontier minimization (constrain).
+	Minimize MinimizeHook
+	// Method selects the image engine (default FunctionalVector).
+	Method ImageMethod
+	// OnConstrain observes the per-latch δ_i ↓ S constrain instances of
+	// the functional-vector image engine — the interception point that
+	// yields the bulk of the paper's minimization instances.
+	OnConstrain ConstrainObserver
+	// MaxIterations bounds the BFS depth (0 = unbounded).
+	MaxIterations int
+	// MaxNodes aborts the traversal when the manager holds more than this
+	// many live nodes (0 = unbounded). The check result is then
+	// inconclusive and Result.Aborted is set.
+	MaxNodes int
+	// GCEvery runs a garbage collection every k iterations (0 = never).
+	GCEvery int
+}
+
+// Result reports the outcome of an equivalence check or reachability run.
+type Result struct {
+	// Equal is true when no reachable product state miscompares.
+	Equal bool
+	// Iterations is the number of BFS steps executed.
+	Iterations int
+	// Reached is the characteristic function of the reached state set.
+	Reached bdd.Ref
+	// ReachedStates is the number of product states reached.
+	ReachedStates float64
+	// PeakFrontierSize is the largest frontier BDD seen (before
+	// minimization).
+	PeakFrontierSize int
+	// MinimizeCalls counts the frontier minimization invocations.
+	MinimizeCalls int
+	// Aborted is set when a resource bound stopped the traversal early.
+	Aborted bool
+}
+
+// CheckEquivalence runs the breadth-first product traversal of Coudert et
+// al. / Touati et al.: starting from the combined reset state, it
+// repeatedly minimizes the frontier against the reached set, computes the
+// image, and tests the miscompare predicate. It returns Equal=false as
+// soon as a reachable miscomparing state appears.
+func (p *Product) CheckEquivalence(opts Options) Result {
+	m := p.M
+	minimize := opts.Minimize
+	if minimize == nil {
+		minimize = func(m *bdd.Manager, f, c bdd.Ref) bdd.Ref { return m.Constrain(f, c) }
+	}
+	res := Result{Equal: true}
+	reached := p.initial
+	frontier := p.initial
+	if !m.Disjoint(reached, p.bad) {
+		res.Equal = false
+		res.Reached = reached
+		return res
+	}
+	m.Protect(reached)
+	m.Protect(frontier)
+	defer func() {
+		m.Unprotect(reached)
+		m.Unprotect(frontier)
+	}()
+	for frontier != bdd.Zero {
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			res.Aborted = true
+			break
+		}
+		if opts.MaxNodes > 0 && m.NumNodes() > opts.MaxNodes {
+			res.Aborted = true
+			break
+		}
+		res.Iterations++
+		if s := m.Size(frontier); s > res.PeakFrontierSize {
+			res.PeakFrontierSize = s
+		}
+		// The EBM instance of the paper: f = U, c = U + ¬R. Covers are
+		// exactly the sets S with U ⊆ S ⊆ R-or-new, i.e. U ⊆ S ⊆ U ∪ R.
+		care := m.Or(frontier, reached.Not())
+		from := frontier
+		if care != bdd.One {
+			res.MinimizeCalls++
+			from = minimize(m, frontier, care)
+		}
+		var img bdd.Ref
+		if opts.Method == TransitionRelation {
+			img = p.Image(from)
+		} else {
+			img = p.ImageFV(from, opts.OnConstrain)
+		}
+		newFrontier := m.AndNot(img, reached)
+		newReached := m.Or(reached, img)
+		m.Unprotect(reached)
+		m.Unprotect(frontier)
+		reached, frontier = newReached, newFrontier
+		m.Protect(reached)
+		m.Protect(frontier)
+		if !m.Disjoint(reached, p.bad) {
+			res.Equal = false
+			break
+		}
+		if opts.GCEvery > 0 && res.Iterations%opts.GCEvery == 0 {
+			m.GC(p.persistentRoots()...)
+		}
+	}
+	res.Reached = reached
+	nStateVars := len(p.A.StateVars) + len(p.B.StateVars)
+	res.ReachedStates = m.SatCount(reached, nStateVars)
+	return res
+}
+
+// persistentRoots lists the product's long-lived functions, so explicit
+// GCs during traversal keep them alive alongside the protected sets.
+func (p *Product) persistentRoots() []bdd.Ref {
+	roots := []bdd.Ref{p.initial, p.bad}
+	roots = append(roots, p.rels...)
+	roots = append(roots, p.dieAt...)
+	for _, mc := range []*Machine{p.A, p.B} {
+		roots = append(roots, mc.Init)
+		roots = append(roots, mc.Next...)
+		roots = append(roots, mc.Outputs...)
+	}
+	return roots
+}
+
+// MinimizeTransitionRelation minimizes a transition relation against a
+// reachability invariant: given T and the reached set R(x), any cover of
+// [T, R] is a valid replacement when images are only ever computed from
+// subsets of R — the second application named in the paper's introduction.
+func MinimizeTransitionRelation(m *bdd.Manager, T, reached bdd.Ref, hook MinimizeHook) bdd.Ref {
+	if hook == nil {
+		hook = func(m *bdd.Manager, f, c bdd.Ref) bdd.Ref { return m.Restrict(f, c) }
+	}
+	if reached == bdd.One {
+		return T
+	}
+	if reached == bdd.Zero {
+		panic("fsm: empty reachable set")
+	}
+	return hook(m, T, reached)
+}
+
+// String renders a short human-readable result summary.
+func (r Result) String() string {
+	verdict := "EQUIVALENT"
+	if !r.Equal {
+		verdict = "DIFFERENT"
+	}
+	if r.Aborted {
+		verdict += " (aborted)"
+	}
+	return fmt.Sprintf("%s after %d iterations, %.0f states reached, peak frontier %d nodes, %d minimize calls",
+		verdict, r.Iterations, r.ReachedStates, r.PeakFrontierSize, r.MinimizeCalls)
+}

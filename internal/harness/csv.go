@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports the call records as CSV for external analysis: one row
+// per intercepted call with provenance, c_onset_size, |f|, the lower
+// bound, min, and per-heuristic size and runtime (microseconds) columns
+// in the given order.
+func WriteCSV(w io.Writer, records []CallRecord, names []string) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "call", "c_onset_pct", "f_size", "lower_bound", "min_size"}
+	for _, n := range names {
+		header = append(header, n+"_size", n+"_us")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			r.Benchmark,
+			fmt.Sprintf("%d", r.Iteration),
+			fmt.Sprintf("%.4f", r.COnsetPct),
+			fmt.Sprintf("%d", r.FOrigSize),
+			fmt.Sprintf("%d", r.LowerBound),
+			fmt.Sprintf("%d", r.MinSize),
+		}
+		for _, n := range names {
+			res, ok := r.Results[n]
+			if !ok {
+				row = append(row, "", "")
+				continue
+			}
+			row = append(row,
+				fmt.Sprintf("%d", res.Size),
+				fmt.Sprintf("%d", res.Runtime.Microseconds()))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"bddmin/internal/textplot"
+)
+
+// CurvePoint is one point of a Figure 3 robustness curve.
+type CurvePoint struct {
+	WithinPct float64 // x: size within this percentage of min
+	CallsPct  float64 // y: percentage of calls achieving it
+}
+
+// Figure3Curve computes the robustness curve for one heuristic: for each
+// x, the percentage of calls on which the heuristic's result size was
+// within x% of the per-call minimum (size ≤ min·(1+x/100)). The
+// y-intercept (x = 0) is how often the heuristic ties the best result; all
+// curves rise monotonically to 100% — exactly the reading the paper gives
+// its Figure 3.
+func Figure3Curve(records []CallRecord, name string, step float64) []CurvePoint {
+	if step <= 0 {
+		step = 2
+	}
+	var pts []CurvePoint
+	for x := 0.0; x <= 100.0+1e-9; x += step {
+		within := 0
+		counted := 0
+		for _, r := range records {
+			res, ok := r.Results[name]
+			if !ok {
+				continue
+			}
+			counted++
+			if float64(res.Size) <= float64(r.MinSize)*(1+x/100) {
+				within++
+			}
+		}
+		y := 0.0
+		if counted > 0 {
+			y = float64(within) / float64(counted) * 100
+		}
+		pts = append(pts, CurvePoint{WithinPct: x, CallsPct: y})
+	}
+	return pts
+}
+
+// Figure3Names is the representative set plotted in the paper.
+func Figure3Names() []string {
+	return []string{"f_orig", "const", "restr", "tsm_td", "opt_lv"}
+}
+
+// RenderFigure3 renders the robustness curves as an ASCII plot followed by
+// the y-intercepts (how often each heuristic finds the smallest result).
+func RenderFigure3(records []CallRecord, names []string) string {
+	plot := &textplot.Plot{
+		Title:  fmt.Sprintf("Figure 3 — %% of calls within x%% of min (%d calls)", len(records)),
+		XLabel: "within % of min",
+		YLabel: "% of calls",
+		Width:  64,
+		Height: 22,
+	}
+	out := ""
+	for _, n := range names {
+		pts := Figure3Curve(records, n, 2)
+		series := textplot.Series{Name: n}
+		for _, p := range pts {
+			series.Points = append(series.Points, [2]float64{p.WithinPct, p.CallsPct})
+		}
+		plot.Series = append(plot.Series, series)
+	}
+	out += plot.String()
+	out += "\ny-intercepts (% of calls finding the smallest result):\n"
+	for _, n := range names {
+		pts := Figure3Curve(records, n, 100) // x = 0 and x = 100
+		out += fmt.Sprintf("  %-8s %.1f%%\n", n, pts[0].CallsPct)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+
+	"bddmin/internal/stats"
+)
+
+// BenchmarkBreakdown aggregates per-benchmark statistics: call counts,
+// c_onset bucket mix, |f| total, min total and the reduction factor —
+// the per-circuit view behind the aggregate Table 3.
+type BenchmarkBreakdown struct {
+	Name      string
+	Calls     int
+	Small     int // c_onset < 5%
+	Large     int // c_onset > 95%
+	FTotal    int64
+	MinTotal  int64
+	LBTotal   int64
+	Reduction float64
+}
+
+// PerBenchmark computes the breakdown for every benchmark present in the
+// records, in first-appearance order.
+func PerBenchmark(records []CallRecord) []BenchmarkBreakdown {
+	index := make(map[string]int)
+	var out []BenchmarkBreakdown
+	for _, r := range records {
+		i, ok := index[r.Benchmark]
+		if !ok {
+			i = len(out)
+			index[r.Benchmark] = i
+			out = append(out, BenchmarkBreakdown{Name: r.Benchmark})
+		}
+		b := &out[i]
+		b.Calls++
+		if SmallOnset.In(r) {
+			b.Small++
+		} else if LargeOnset.In(r) {
+			b.Large++
+		}
+		b.FTotal += int64(r.FOrigSize)
+		b.MinTotal += int64(r.MinSize)
+		b.LBTotal += int64(r.LowerBound)
+	}
+	for i := range out {
+		if out[i].MinTotal > 0 {
+			out[i].Reduction = float64(out[i].FTotal) / float64(out[i].MinTotal)
+		}
+	}
+	return out
+}
+
+// RenderPerBenchmark renders the breakdown as a table.
+func RenderPerBenchmark(records []CallRecord) string {
+	t := stats.Table{
+		Title:   "Per-benchmark breakdown",
+		Headers: []string{"Benchmark", "Calls", "<5%", ">95%", "|f| total", "min total", "low_bd", "reduction"},
+		Aligns: []stats.Align{stats.Left, stats.Right, stats.Right, stats.Right,
+			stats.Right, stats.Right, stats.Right, stats.Right},
+	}
+	for _, b := range PerBenchmark(records) {
+		t.AddRow(b.Name,
+			fmt.Sprintf("%d", b.Calls),
+			fmt.Sprintf("%d", b.Small),
+			fmt.Sprintf("%d", b.Large),
+			fmt.Sprintf("%d", b.FTotal),
+			fmt.Sprintf("%d", b.MinTotal),
+			fmt.Sprintf("%d", b.LBTotal),
+			fmt.Sprintf("%.1fx", b.Reduction))
+	}
+	return t.String()
+}

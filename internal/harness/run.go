@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/circuits"
+	"bddmin/internal/fsm"
+)
+
+// RunConfig tunes a suite run.
+type RunConfig struct {
+	Collector Config
+	// MaxIterations bounds each benchmark's BFS depth (default 64).
+	MaxIterations int
+	// MaxNodes aborts a benchmark when the manager exceeds this many live
+	// nodes (default 2,000,000).
+	MaxNodes int
+	// GCEvery collects garbage every k iterations (default 1 — the
+	// instrumented heuristics generate a lot of transient nodes).
+	GCEvery int
+	// Progress, when non-nil, receives one line per benchmark.
+	Progress io.Writer
+}
+
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.MaxIterations == 0 {
+		rc.MaxIterations = 64
+	}
+	if rc.MaxNodes == 0 {
+		rc.MaxNodes = 2_000_000
+	}
+	if rc.GCEvery == 0 {
+		rc.GCEvery = 1
+	}
+	return rc
+}
+
+// BenchmarkRun reports one benchmark's traversal outcome.
+type BenchmarkRun struct {
+	Name   string
+	Result fsm.Result
+	Calls  int // instrumented minimization calls contributed
+}
+
+// RunBenchmark checks one suite machine against itself with the collector
+// installed and returns the traversal result.
+func RunBenchmark(info circuits.BenchmarkInfo, col *Collector, rc RunConfig) (BenchmarkRun, error) {
+	rc = rc.withDefaults()
+	m := bdd.New(0)
+	net := info.Build()
+	p, err := fsm.NewProduct(m, net, net)
+	if err != nil {
+		return BenchmarkRun{}, fmt.Errorf("harness: %s: %w", info.Name, err)
+	}
+	col.SetBenchmark(info.Name)
+	before := len(col.Records)
+	res := p.CheckEquivalence(fsm.Options{
+		Minimize:      col.Hook(),
+		OnConstrain:   col.Observer(),
+		Method:        fsm.FunctionalVector,
+		MaxIterations: rc.MaxIterations,
+		MaxNodes:      rc.MaxNodes,
+		GCEvery:       rc.GCEvery,
+	})
+	if !res.Equal {
+		return BenchmarkRun{}, fmt.Errorf("harness: %s: self-equivalence failed (instrumentation bug)", info.Name)
+	}
+	return BenchmarkRun{Name: info.Name, Result: res, Calls: len(col.Records) - before}, nil
+}
+
+// RunSuite runs every named benchmark (nil = the full paper suite) and
+// returns the per-benchmark traversal results alongside the collector.
+func RunSuite(names []string, rc RunConfig) (*Collector, []BenchmarkRun, error) {
+	col := NewCollector(rc.Collector)
+	if names == nil {
+		names = circuits.Names()
+	}
+	var runs []BenchmarkRun
+	for _, name := range names {
+		info, err := circuits.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := RunBenchmark(info, col, rc)
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, run)
+		if rc.Progress != nil {
+			fmt.Fprintf(rc.Progress, "%-10s %s (%d minimize calls recorded)\n",
+				name, run.Result.String(), run.Calls)
+		}
+	}
+	return col, runs, nil
+}

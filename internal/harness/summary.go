@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary holds the headline scalars of Section 4.2.
+type Summary struct {
+	Calls           int
+	FilteredTrivial int
+	// MinOverLB is how much larger min is than the lower bound (the paper
+	// reports 3.4x, i.e. the bound is 29% of min).
+	MinOverLB float64
+	// Reduction factors |f_orig| / |min| overall and per bucket (the
+	// paper: ~8x overall, ~16x small-onset, ~2x large-onset).
+	ReductionAll, ReductionSmall, ReductionLarge float64
+	// PctCallsAtLB is the percentage of calls on which the best heuristic
+	// met the lower bound (the paper: 26.2%).
+	PctCallsAtLB float64
+	// BucketCalls counts records per bucket (small, mid, large).
+	BucketCalls [3]int
+}
+
+// Summarize computes the headline scalars over all records.
+func Summarize(col *Collector) Summary {
+	s := Summary{Calls: len(col.Records), FilteredTrivial: col.FilteredTrivial}
+	var minTotal, lbTotal, fTotal int64
+	atLB := 0
+	var fSmall, minSmall, fLarge, minLarge int64
+	for _, r := range col.Records {
+		minTotal += int64(r.MinSize)
+		lbTotal += int64(r.LowerBound)
+		fTotal += int64(r.FOrigSize)
+		if r.MinSize == r.LowerBound {
+			atLB++
+		}
+		switch {
+		case SmallOnset.In(r):
+			s.BucketCalls[0]++
+			fSmall += int64(r.FOrigSize)
+			minSmall += int64(r.MinSize)
+		case LargeOnset.In(r):
+			s.BucketCalls[2]++
+			fLarge += int64(r.FOrigSize)
+			minLarge += int64(r.MinSize)
+		default:
+			s.BucketCalls[1]++
+		}
+	}
+	ratio := func(a, b int64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	s.MinOverLB = ratio(minTotal, lbTotal)
+	s.ReductionAll = ratio(fTotal, minTotal)
+	s.ReductionSmall = ratio(fSmall, minSmall)
+	s.ReductionLarge = ratio(fLarge, minLarge)
+	if s.Calls > 0 {
+		s.PctCallsAtLB = float64(atLB) / float64(s.Calls) * 100
+	}
+	return s
+}
+
+// String renders the summary with the paper's reference values alongside.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4.2 summary (paper reference values in brackets)\n")
+	fmt.Fprintf(&b, "  instrumented calls:        %d   [paper: 2704]\n", s.Calls)
+	fmt.Fprintf(&b, "  filtered trivial calls:    %d\n", s.FilteredTrivial)
+	fmt.Fprintf(&b, "  bucket sizes <5%%/mid/>95%%: %d / %d / %d   [paper: 2532 / 0 / 172]\n",
+		s.BucketCalls[0], s.BucketCalls[1], s.BucketCalls[2])
+	fmt.Fprintf(&b, "  min vs lower bound:        %.1fx   [paper: 3.4x]\n", s.MinOverLB)
+	fmt.Fprintf(&b, "  reduction |f|/min overall: %.1fx   [paper: ~8x]\n", s.ReductionAll)
+	fmt.Fprintf(&b, "  reduction, onset < 5%%:     %.1fx   [paper: ~16x]\n", s.ReductionSmall)
+	fmt.Fprintf(&b, "  reduction, onset > 95%%:    %.1fx   [paper: ~2x]\n", s.ReductionLarge)
+	fmt.Fprintf(&b, "  calls where min = low_bd:  %.1f%%   [paper: 26.2%%]\n", s.PctCallsAtLB)
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bddmin/internal/stats"
+)
+
+// Table3Row is one line of the paper's Table 3: cumulative result sizes,
+// percentage of the min pseudo-heuristic, cumulative runtime, and rank by
+// total size, within one c_onset_size bucket.
+type Table3Row struct {
+	Name      string
+	TotalSize int64
+	PctOfMin  float64
+	Runtime   time.Duration
+	Rank      int // 0 for the low_bd and min pseudo-rows
+}
+
+// Table3 aggregates the records of one bucket. Rows are sorted by total
+// size ascending with low_bd first and min second, mirroring the paper's
+// layout.
+func Table3(records []CallRecord, names []string) []Table3Row {
+	var minTotal, lbTotal int64
+	for _, r := range records {
+		minTotal += int64(r.MinSize)
+		lbTotal += int64(r.LowerBound)
+	}
+	totals := make([]int64, len(names))
+	times := make([]time.Duration, len(names))
+	for _, r := range records {
+		for i, n := range names {
+			res, ok := r.Results[n]
+			if !ok {
+				continue
+			}
+			totals[i] += int64(res.Size)
+			times[i] += res.Runtime
+		}
+	}
+	ranks := stats.CompetitionRanks(totals)
+	pct := func(total int64) float64 {
+		if minTotal == 0 {
+			return 0
+		}
+		return float64(total) / float64(minTotal) * 100
+	}
+	rows := []Table3Row{
+		{Name: "low_bd", TotalSize: lbTotal, PctOfMin: pct(lbTotal)},
+		{Name: "min", TotalSize: minTotal, PctOfMin: 100},
+	}
+	heurRows := make([]Table3Row, len(names))
+	for i, n := range names {
+		heurRows[i] = Table3Row{
+			Name: n, TotalSize: totals[i], PctOfMin: pct(totals[i]),
+			Runtime: times[i], Rank: ranks[i],
+		}
+	}
+	sort.SliceStable(heurRows, func(a, b int) bool { return heurRows[a].TotalSize < heurRows[b].TotalSize })
+	return append(rows, heurRows...)
+}
+
+// RenderTable3 renders the three-bucket Table 3 as text.
+func RenderTable3(records []CallRecord, names []string) string {
+	out := ""
+	for _, b := range []Bucket{AllCalls, SmallOnset, MidOnset, LargeOnset} {
+		sub := Filter(records, b)
+		if b == MidOnset && len(sub) == 0 {
+			// The paper's experiments had no entries in the 5%-95%
+			// sub-bucket either; note the fact and move on.
+			out += fmt.Sprintf("%s: no calls (as in the paper)\n\n", b)
+			continue
+		}
+		t := stats.Table{
+			Title:   fmt.Sprintf("Table 3 — %s (%d calls)", b, len(sub)),
+			Headers: []string{"Heur.", "Total Size", "% of min", "Runtime", "Rank"},
+			Aligns:  []stats.Align{stats.Left, stats.Right, stats.Right, stats.Right, stats.Right},
+		}
+		for _, row := range Table3(sub, names) {
+			rank := ""
+			if row.Rank > 0 {
+				rank = fmt.Sprintf("%d", row.Rank)
+			}
+			rt := ""
+			if row.Name != "low_bd" && row.Name != "min" {
+				rt = fmt.Sprintf("%.3fs", row.Runtime.Seconds())
+			}
+			t.AddRow(row.Name, fmt.Sprintf("%d", row.TotalSize),
+				fmt.Sprintf("%.0f", row.PctOfMin), rt, rank)
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+// Table4 computes the head-to-head matrix: entry (i, j) is the percentage
+// of calls in which heuristic i produced a strictly smaller result than
+// heuristic j (the paper's Table 4). The pseudo-heuristic "min" is allowed
+// as a name and resolves to the per-call minimum.
+func Table4(records []CallRecord, names []string) [][]float64 {
+	n := len(names)
+	wins := make([][]int, n)
+	for i := range wins {
+		wins[i] = make([]int, n)
+	}
+	size := func(r CallRecord, name string) (int, bool) {
+		if name == "min" {
+			return r.MinSize, true
+		}
+		res, ok := r.Results[name]
+		return res.Size, ok
+	}
+	for _, r := range records {
+		for i := 0; i < n; i++ {
+			si, ok := size(r, names[i])
+			if !ok {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				sj, ok := size(r, names[j])
+				if ok && si < sj {
+					wins[i][j]++
+				}
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			if len(records) > 0 {
+				out[i][j] = float64(wins[i][j]) / float64(len(records)) * 100
+			}
+		}
+	}
+	return out
+}
+
+// Table4Names is the representative subset the paper prints.
+func Table4Names() []string {
+	return []string{"f_orig", "const", "restr", "osm_bt", "tsm_td", "opt_lv", "min"}
+}
+
+// RenderTable4 renders the head-to-head matrix.
+func RenderTable4(records []CallRecord, names []string) string {
+	mat := Table4(records, names)
+	t := stats.Table{
+		Title:   fmt.Sprintf("Table 4 — head-to-head: %% of calls where row is strictly smaller than column (%d calls)", len(records)),
+		Headers: append([]string{"Heur."}, names...),
+	}
+	t.Aligns = make([]stats.Align, len(t.Headers))
+	for i := range t.Aligns {
+		t.Aligns[i] = stats.Right
+	}
+	t.Aligns[0] = stats.Left
+	for i, n := range names {
+		cells := []string{n}
+		for j := range names {
+			cells = append(cells, fmt.Sprintf("%.1f", mat[i][j]))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Orthogonality returns the paper's orthogonality measure for a heuristic
+// pair: the sum of the two head-to-head percentages — the higher, the more
+// the two heuristics win on different calls.
+func Orthogonality(records []CallRecord, a, b string) float64 {
+	mat := Table4(records, []string{a, b})
+	return mat[0][1] + mat[1][0]
+}

@@ -1,0 +1,183 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBLIF = `
+# A tiny Mealy machine: toggles on input, output when equal.
+.model toggle
+.inputs in
+.outputs out
+.latch next q 0
+.names in q next
+10 1
+01 1
+.names in q out
+11 1
+00 1
+.end
+`
+
+func TestParseBLIFBasics(t *testing.T) {
+	net, err := ParseBLIFString(sampleBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "toggle" || net.PrimaryInputCount() != 1 ||
+		net.OutputCount() != 1 || net.LatchCount() != 1 {
+		t.Fatalf("parsed shape: %s %d/%d/%d", net.Name, net.PrimaryInputCount(),
+			net.OutputCount(), net.LatchCount())
+	}
+	// next = in XOR q; out = in XNOR q. Simulate a few steps.
+	state := InitialState(net)
+	if state[0] {
+		t.Fatal("latch init must be 0")
+	}
+	state, out := StepState(net, state, []bool{true})
+	if !state[0] || out[0] {
+		t.Fatalf("after in=1: state %v out %v", state[0], out[0])
+	}
+	state, out = StepState(net, state, []bool{true})
+	if state[0] || !out[0] {
+		t.Fatalf("after second in=1: state %v out %v", state[0], out[0])
+	}
+}
+
+func TestParseBLIFOffsetCover(t *testing.T) {
+	// Output plane 0 rows define the offset.
+	src := `
+.model offset
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+`
+	net, err := ParseBLIFString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = NOT(a AND b)
+	for k := 0; k < 4; k++ {
+		in := []bool{k&2 != 0, k&1 != 0}
+		_, out := StepState(net, nil, in)
+		if out[0] != !(in[0] && in[1]) {
+			t.Fatalf("offset cover wrong at %v", in)
+		}
+	}
+}
+
+func TestParseBLIFConstants(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+`
+	net, err := ParseBLIFString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := StepState(net, nil, []bool{false})
+	if !out[0] || out[1] {
+		t.Fatalf("constants: %v", out)
+	}
+}
+
+func TestParseBLIFContinuationAndComments(t *testing.T) {
+	src := `
+.model cont
+.inputs a b \
+        c
+.outputs f  # trailing comment
+.names a b c f
+1-- 1
+-11 1
+.end
+`
+	net, err := ParseBLIFString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.PrimaryInputCount() != 3 {
+		t.Fatalf("inputs = %d", net.PrimaryInputCount())
+	}
+}
+
+func TestParseBLIFErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined signal": ".model m\n.inputs a\n.outputs f\n.names a g f\n11 1\n.end",
+		"mixed planes":     ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n0 0\n.end",
+		"row outside":      ".model m\n.inputs a\n.outputs a\n11 1\n.end",
+		"redefinition":     ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end",
+		"bad latch init":   ".model m\n.inputs a\n.outputs q\n.latch a q x y\n.end",
+		"unsupported":      ".model m\n.inputs a\n.outputs f\n.subckt foo x=a\n.end",
+		"missing output":   ".model m\n.inputs a\n.outputs f\n.end",
+		"after end":        ".model m\n.inputs a\n.outputs a\n.end\n.inputs b",
+	}
+	for name, src := range cases {
+		if _, err := ParseBLIFString(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestBLIFRoundTrip(t *testing.T) {
+	net, err := ParseBLIFString(sampleBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBLIF(&sb, net); err != nil {
+		t.Fatal(err)
+	}
+	net2, err := ParseBLIFString(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	// Behavioral equivalence over a short random-free exhaustive walk.
+	s1, s2 := InitialState(net), InitialState(net2)
+	for step := 0; step < 16; step++ {
+		in := []bool{step%3 == 0}
+		var o1, o2 []bool
+		s1, o1 = StepState(net, s1, in)
+		s2, o2 = StepState(net2, s2, in)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("round trip diverged at step %d", step)
+			}
+		}
+	}
+}
+
+func TestBLIFRoundTripGateNetwork(t *testing.T) {
+	// Builder-made gates lower to covers and reparse equivalently.
+	b := NewBuilder("g")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	b.Output("f", b.Or(b.And(x, y), b.Xor(y, z)))
+	b.Output("g", b.Mux(x, y, z))
+	net := b.MustBuild()
+	var sb strings.Builder
+	if err := WriteBLIF(&sb, net); err != nil {
+		t.Fatal(err)
+	}
+	net2, err := ParseBLIFString(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	for k := 0; k < 8; k++ {
+		in := []bool{k&4 != 0, k&2 != 0, k&1 != 0}
+		_, o1 := StepState(net, nil, in)
+		_, o2 := StepState(net2, nil, in)
+		if o1[0] != o2[0] || o1[1] != o2[1] {
+			t.Fatalf("gate round trip diverged at %d", k)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package logic
+
+import "fmt"
+
+// Builder constructs Networks programmatically; the benchmark generators
+// in package circuits are written against it. Node names are optional
+// (empty names get generated ones) but must be unique when given.
+type Builder struct {
+	net   *Network
+	names map[string]*Node
+	auto  int
+}
+
+// NewBuilder starts a network with the given model name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		net:   &Network{Name: name},
+		names: make(map[string]*Node),
+	}
+}
+
+func (b *Builder) add(nd *Node) *Node {
+	if nd.Name == "" {
+		b.auto++
+		nd.Name = fmt.Sprintf("n%d", b.auto)
+	}
+	if _, dup := b.names[nd.Name]; dup {
+		panic(fmt.Sprintf("logic: duplicate node name %q", nd.Name))
+	}
+	b.names[nd.Name] = nd
+	b.net.nodes = append(b.net.nodes, nd)
+	return nd
+}
+
+// Input declares a primary input.
+func (b *Builder) Input(name string) *Node {
+	nd := b.add(&Node{Name: name, Type: Input})
+	b.net.Inputs = append(b.net.Inputs, nd)
+	return nd
+}
+
+// Const returns a constant node.
+func (b *Builder) Const(v bool) *Node {
+	return b.add(&Node{Type: Const, Value: v})
+}
+
+// Not returns the complement of a.
+func (b *Builder) Not(a *Node) *Node { return b.add(&Node{Type: Not, Fanin: []*Node{a}}) }
+
+// Buf returns a buffer of a (an alias node).
+func (b *Builder) Buf(a *Node) *Node { return b.add(&Node{Type: Buf, Fanin: []*Node{a}}) }
+
+// And returns the conjunction of the operands.
+func (b *Builder) And(xs ...*Node) *Node { return b.nary(And, xs) }
+
+// Or returns the disjunction of the operands.
+func (b *Builder) Or(xs ...*Node) *Node { return b.nary(Or, xs) }
+
+// Nand returns the complemented conjunction.
+func (b *Builder) Nand(xs ...*Node) *Node { return b.nary(Nand, xs) }
+
+// Nor returns the complemented disjunction.
+func (b *Builder) Nor(xs ...*Node) *Node { return b.nary(Nor, xs) }
+
+// Xor returns the parity of the operands.
+func (b *Builder) Xor(xs ...*Node) *Node { return b.nary(Xor, xs) }
+
+// Xnor returns the complemented parity.
+func (b *Builder) Xnor(xs ...*Node) *Node { return b.nary(Xnor, xs) }
+
+func (b *Builder) nary(t GateType, xs []*Node) *Node {
+	if len(xs) == 1 {
+		return b.Buf(xs[0])
+	}
+	return b.add(&Node{Type: t, Fanin: append([]*Node(nil), xs...)})
+}
+
+// Mux returns "if sel then t else e".
+func (b *Builder) Mux(sel, t, e *Node) *Node {
+	return b.add(&Node{Type: Mux, Fanin: []*Node{sel, t, e}})
+}
+
+// Table adds a SOP-cover node over the fanins.
+func (b *Builder) Table(fanin []*Node, cover []string) *Node {
+	return b.add(&Node{Type: Table, Fanin: append([]*Node(nil), fanin...), Cover: append([]string(nil), cover...)})
+}
+
+// Latch declares a state element with the given name and reset value and
+// returns its present-state node. The next-state function is attached
+// later with SetNext (allowing feedback).
+func (b *Builder) Latch(name string, init bool) *Node {
+	out := b.add(&Node{Name: name, Type: Input})
+	b.net.Latches = append(b.net.Latches, &Latch{Name: name, Output: out, Init: init})
+	return out
+}
+
+// SetNext attaches the next-state function to the latch whose
+// present-state node is q. It panics if q is not a latch output.
+func (b *Builder) SetNext(q, next *Node) {
+	for _, l := range b.net.Latches {
+		if l.Output == q {
+			l.Input = next
+			return
+		}
+	}
+	panic(fmt.Sprintf("logic: %q is not a latch output", q.Name))
+}
+
+// Output declares a primary output driven by nd.
+func (b *Builder) Output(name string, nd *Node) {
+	if nd.Name == "" {
+		nd.Name = name
+	}
+	b.net.Outputs = append(b.net.Outputs, nd)
+}
+
+// Build validates and returns the network.
+func (b *Builder) Build() (*Network, error) {
+	if err := b.net.Validate(); err != nil {
+		return nil, err
+	}
+	return b.net, nil
+}
+
+// MustBuild is Build, panicking on error; for generators whose structure
+// is correct by construction.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+package logic
+
+import "bddmin/internal/bdd"
+
+// Small aliases so fuzz targets stay readable.
+type refT = bdd.Ref
+
+func bddVar(i int) bdd.Var { return bdd.Var(i) }
+
+func newManagerFor(net *Network) *bdd.Manager {
+	return bdd.New(net.PrimaryInputCount() + net.LatchCount())
+}

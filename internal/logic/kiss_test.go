@@ -1,0 +1,197 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// A small deterministic STG: a two-state toggle with an enable input.
+const sampleKISS = `
+# toggle machine
+.i 1
+.o 1
+.s 2
+.r A
+.p 4
+1 A B 0
+0 A A 0
+1 B A 1
+0 B B 1
+.e
+`
+
+func TestParseKISSBasics(t *testing.T) {
+	k, err := ParseKISSString(sampleKISS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumInputs != 1 || k.NumOutputs != 1 || len(k.States) != 2 ||
+		k.ResetState != "A" || len(k.Transitions) != 4 {
+		t.Fatalf("parsed shape: %+v", k)
+	}
+	if k.StateBits() != 1 {
+		t.Fatalf("state bits = %d", k.StateBits())
+	}
+}
+
+func TestKISSSynthesizeBehavior(t *testing.T) {
+	k, err := ParseKISSString(sampleKISS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := k.Synthesize("toggle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.LatchCount() != 1 || net.PrimaryInputCount() != 1 || net.OutputCount() != 1 {
+		t.Fatalf("net shape %d/%d/%d", net.LatchCount(), net.PrimaryInputCount(), net.OutputCount())
+	}
+	// Walk the STG explicitly alongside the synthesized network.
+	state := InitialState(net)
+	stgState := "A"
+	seq := []bool{true, true, false, true, false, false, true}
+	for step, in := range seq {
+		var out []bool
+		state, out = StepState(net, state, []bool{in})
+		// STG reference: output first (Mealy), then transition.
+		var wantOut bool
+		var next string
+		for _, tr := range k.Transitions {
+			if tr.From != stgState {
+				continue
+			}
+			if (tr.Input == "1") == in {
+				wantOut = tr.Output == "1"
+				next = tr.To
+				break
+			}
+		}
+		if out[0] != wantOut {
+			t.Fatalf("step %d: output %v, STG says %v", step, out[0], wantOut)
+		}
+		stgState = next
+		// Check encoded state: A = code 0 (reset), B = 1.
+		if state[0] != (stgState == "B") {
+			t.Fatalf("step %d: state bit %v for STG state %s", step, state[0], stgState)
+		}
+	}
+}
+
+func TestKISSUnspecifiedInputsHoldState(t *testing.T) {
+	// A state with no transition for input 0: the synthesized default is
+	// a self-loop with 0 outputs.
+	src := `
+.i 1
+.o 1
+.r A
+1 A B 1
+1 B A 0
+.e
+`
+	k, err := ParseKISSString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := k.Synthesize("partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := InitialState(net)
+	next, out := StepState(net, state, []bool{false})
+	if next[0] != state[0] || out[0] {
+		t.Fatal("unspecified input must hold state with quiet outputs")
+	}
+}
+
+func TestKISSDontCareInputCubes(t *testing.T) {
+	// '-' input matches both values.
+	src := `
+.i 2
+.o 1
+.r S0
+-1 S0 S1 1
+-0 S0 S0 0
+1- S1 S0 0
+0- S1 S1 1
+.e
+`
+	k, err := ParseKISSString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := k.Synthesize("dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := InitialState(net)
+	// input 01 (i0=0, i1=1) matches "-1": go to S1, output 1.
+	state, out := StepState(net, state, []bool{false, true})
+	if !out[0] || !state[0] {
+		t.Fatalf("dc cube transition: out=%v state=%v", out[0], state[0])
+	}
+}
+
+func TestKISSRejectsNondeterminism(t *testing.T) {
+	src := `
+.i 1
+.o 1
+.r A
+- A B 1
+1 A A 0
+.e
+`
+	k, err := ParseKISSString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Synthesize("bad"); err == nil || !strings.Contains(err.Error(), "nondeterministic") {
+		t.Fatalf("nondeterminism must be rejected, got %v", err)
+	}
+}
+
+func TestKISSRejectsConflictingOutputs(t *testing.T) {
+	src := `
+.i 1
+.o 1
+.r A
+- A B 1
+1 A B 0
+.e
+`
+	k, err := ParseKISSString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Synthesize("bad"); err == nil || !strings.Contains(err.Error(), "conflicting outputs") {
+		t.Fatalf("output conflict must be rejected, got %v", err)
+	}
+}
+
+func TestParseKISSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no io":          "1 A B 1\n",
+		"bad directive":  ".i 1\n.o 1\n.foo\n",
+		"bad fields":     ".i 1\n.o 1\n1 A B\n",
+		"width mismatch": ".i 2\n.o 1\n1 A B 1\n",
+		"bad symbol":     ".i 1\n.o 1\nx A B 1\n",
+		"bad out symbol": ".i 1\n.o 1\n1 A B z\n",
+		"unused reset":   ".i 1\n.o 1\n.r Z\n1 A B 1\n",
+		"state count":    ".i 1\n.o 1\n.s 5\n1 A B 1\n",
+		"empty":          "# nothing\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseKISSString(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestKISSDefaultReset(t *testing.T) {
+	k, err := ParseKISSString(".i 1\n.o 1\n1 S1 S2 1\n0 S1 S1 0\n1 S2 S1 0\n0 S2 S2 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.ResetState != "S1" {
+		t.Fatalf("default reset = %q, want first-used state", k.ResetState)
+	}
+}

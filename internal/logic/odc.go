@@ -1,0 +1,98 @@
+package logic
+
+import (
+	"fmt"
+
+	"bddmin/internal/bdd"
+)
+
+// Observability don't cares: input combinations under which an internal
+// node's value cannot be observed at any primary output or next-state
+// function. Together with unreachability don't cares they are the main
+// source of incompletely specified functions in logic synthesis — the
+// paper's introduction points at exactly this use ("for an incompletely
+// specified circuit, heuristically minimizing the BDD can lead to a
+// smaller implementation").
+
+// ObservabilityDC computes the ODC set of target with respect to the
+// network's primary outputs and latch inputs, under the variable
+// assignment env (mapping inputs and latch outputs to BDD variables):
+//
+//	ODC(target) = ∧_o ( o[target←1] ≡ o[target←0] )
+//
+// The complement of the ODC set is the care set under which the node's
+// function may be freely re-covered: any cover g of
+// [nodeFunction, ¬ODC] can replace the node without changing any output.
+func ObservabilityDC(m *bdd.Manager, net *Network, env Env, target *Node) (bdd.Ref, error) {
+	if target.Type == Input {
+		if _, bound := env[target]; !bound {
+			return bdd.Zero, fmt.Errorf("logic: target %q is an unbound input", target.Name)
+		}
+	}
+	// Evaluate every observable function twice, with the target forced to
+	// One and Zero. Forcing is done by seeding the memo table.
+	evalForced := func(forced bdd.Ref) []bdd.Ref {
+		memo := map[*Node]bdd.Ref{target: forced}
+		var outs []bdd.Ref
+		for _, o := range net.Outputs {
+			outs = append(outs, EvalBDD(m, o, env, memo))
+		}
+		for _, l := range net.Latches {
+			outs = append(outs, EvalBDD(m, l.Input, env, memo))
+		}
+		return outs
+	}
+	hi := evalForced(bdd.One)
+	lo := evalForced(bdd.Zero)
+	odc := bdd.One
+	for i := range hi {
+		odc = m.And(odc, m.Xnor(hi[i], lo[i]))
+		if odc == bdd.Zero {
+			break
+		}
+	}
+	return odc, nil
+}
+
+// NodeISF returns the incompletely specified function of an internal node
+// exposed by its observability don't cares: F is the node's function, C
+// the complement of its ODC set (both over env's variables). Minimizing
+// [F, C] with any heuristic from the core package yields a replacement
+// function that preserves all observable behavior.
+func NodeISF(m *bdd.Manager, net *Network, env Env, target *Node) (f, c bdd.Ref, err error) {
+	memo := make(map[*Node]bdd.Ref)
+	f = EvalBDD(m, target, env, memo)
+	odc, err := ObservabilityDC(m, net, env, target)
+	if err != nil {
+		return bdd.Zero, bdd.Zero, err
+	}
+	return f, odc.Not(), nil
+}
+
+// ReplaceObservable verifies that g is a valid replacement for target:
+// substituting g for the node leaves every output and next-state function
+// unchanged. It returns an error naming the first observable that
+// differs. Used to validate don't-care-based rewrites.
+func ReplaceObservable(m *bdd.Manager, net *Network, env Env, target *Node, g bdd.Ref) error {
+	base := make(map[*Node]bdd.Ref)
+	repl := map[*Node]bdd.Ref{target: g}
+	check := func(name string, nd *Node) error {
+		want := EvalBDD(m, nd, env, base)
+		got := EvalBDD(m, nd, env, repl)
+		if want != got {
+			return fmt.Errorf("logic: replacement changes %s", name)
+		}
+		return nil
+	}
+	for i, o := range net.Outputs {
+		if err := check(fmt.Sprintf("output %d (%s)", i, o.Name), o); err != nil {
+			return err
+		}
+	}
+	for _, l := range net.Latches {
+		if err := check(fmt.Sprintf("latch %s", l.Name), l.Input); err != nil {
+			return err
+		}
+	}
+	return nil
+}

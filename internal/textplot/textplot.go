@@ -1,0 +1,101 @@
+// Package textplot renders simple multi-series line charts as ASCII art,
+// used to reproduce the paper's Figure 3 in terminal output.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve of (x, y) points.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// Plot is a fixed-size character canvas chart.
+type Plot struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int // plot area in characters (default 60x20)
+	Series        []Series
+}
+
+// markers cycle through the series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// String renders the chart: axes, per-series markers, and a legend.
+func (p *Plot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			minX, maxX = math.Min(minX, pt[0]), math.Max(maxX, pt[0])
+			minY, maxY = math.Min(minY, pt[1]), math.Max(maxY, pt[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		mark := markers[si%len(markers)]
+		pts := append([][2]float64(nil), s.Points...)
+		sort.Slice(pts, func(a, b int) bool { return pts[a][0] < pts[b][0] })
+		for _, pt := range pts {
+			col := int(math.Round((pt[0] - minX) / (maxX - minX) * float64(w-1)))
+			row := h - 1 - int(math.Round((pt[1]-minY)/(maxY-minY)*float64(h-1)))
+			if row >= 0 && row < h && col >= 0 && col < w {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yTop := fmt.Sprintf("%.0f", maxY)
+	yBot := fmt.Sprintf("%.0f", minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", margin)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*.0f%*.0f\n", strings.Repeat(" ", margin), w/2, minX, w-w/2, maxX)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s    y: %s\n", p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	p := &Plot{
+		Title:  "t",
+		XLabel: "x",
+		YLabel: "y",
+		Width:  20,
+		Height: 10,
+		Series: []Series{
+			{Name: "up", Points: [][2]float64{{0, 0}, {50, 50}, {100, 100}}},
+			{Name: "down", Points: [][2]float64{{0, 100}, {100, 0}}},
+		},
+	}
+	out := p.String()
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("title missing")
+	}
+	for _, want := range []string{"*", "o", "up", "down", "x: x", "100", "0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 10 {
+		t.Fatalf("plot area has %d rows, want 10", plotLines)
+	}
+}
+
+func TestPlotCornerPlacement(t *testing.T) {
+	p := &Plot{Width: 11, Height: 5, Series: []Series{
+		{Name: "s", Points: [][2]float64{{0, 0}, {10, 10}}},
+	}}
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	// First plot row has the max-y point at the right edge; last has the
+	// min at the left edge.
+	if !strings.HasSuffix(strings.TrimRight(lines[0], " "), "*") {
+		t.Fatalf("top-right marker: %q", lines[0])
+	}
+	bottom := lines[4]
+	if !strings.Contains(bottom, "|*") {
+		t.Fatalf("bottom-left marker: %q", bottom)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	// No series at all.
+	if out := (&Plot{}).String(); out == "" {
+		t.Fatal("empty plot must still render axes")
+	}
+	// A single point (degenerate ranges) must not divide by zero.
+	p := &Plot{Series: []Series{{Name: "pt", Points: [][2]float64{{5, 5}}}}}
+	if !strings.Contains(p.String(), "pt") {
+		t.Fatal("single-point plot broken")
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Name: string(rune('a' + i)), Points: [][2]float64{{float64(i), 1}}})
+	}
+	out := (&Plot{Series: series}).String()
+	// 10 series with 8 markers: the first two markers repeat in the legend.
+	if strings.Count(out, "*") < 2 {
+		t.Fatalf("marker cycling: %s", out)
+	}
+}
