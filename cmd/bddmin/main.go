@@ -9,17 +9,23 @@
 // Usage:
 //
 //	bddmin -spec "d1 01 1d 01" [-heuristic osm_bt] [-all] [-exact] [-dot out.dot]
+//	       [-workers N]
 //
 // With -all, every registered heuristic plus the lower bound is reported;
 // with -exact (instances up to 20 don't-care minterms), the brute-force
-// exact minimum is included.
+// exact minimum is included. With -all and -workers > 1 (0 = GOMAXPROCS)
+// the heuristics run concurrently, each on its own BDD manager rebuilt from
+// the input (managers are not safe for concurrent use); sizes and reported
+// covers are identical to a sequential run because BDD sizes are canonical.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/core"
@@ -35,6 +41,7 @@ func main() {
 		all       = flag.Bool("all", false, "run every heuristic and the lower bound")
 		exact     = flag.Bool("exact", false, "also compute the exact minimum by brute force")
 		dotFile   = flag.String("dot", "", "write the minimized BDD to this DOT file")
+		workersN  = flag.Int("workers", 1, "with -all, run heuristics on this many workers (one BDD manager each; 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *spec == "" && *plaFile == "" {
@@ -42,9 +49,8 @@ func main() {
 		os.Exit(2)
 	}
 	var (
-		m  *bdd.Manager
-		in core.ISF
-		n  int
+		pla *logic.PLA
+		n   int
 	)
 	if *plaFile != "" {
 		file, err := os.Open(*plaFile)
@@ -52,39 +58,45 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		pla, err := logic.ParsePLA(file)
+		parsed, err := logic.ParsePLA(file)
 		file.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		pla = parsed
 		n = pla.NumInputs
-		m = bdd.New(n)
-		vars := make([]bdd.Var, n)
-		for i := range vars {
-			vars[i] = bdd.Var(i)
-			if i < len(pla.InputNames) {
-				m.SetVarName(vars[i], pla.InputNames[i])
-			}
-		}
-		f, c, err := pla.OutputISF(m, vars, *plaOutput)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		in = core.ISF{F: f, C: c}
 	} else {
 		clean := strings.ReplaceAll(strings.ReplaceAll(*spec, " ", ""), "\t", "")
 		for 1<<n < len(clean) {
 			n++
 		}
-		m = bdd.New(n)
-		parsed, err := core.ParseSpec(m, *spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	}
+	// rebuild constructs the instance on a fresh manager; the parallel path
+	// gives every worker its own (managers are single-goroutine).
+	rebuild := func() (*bdd.Manager, core.ISF, error) {
+		m := bdd.New(n)
+		if pla != nil {
+			vars := make([]bdd.Var, n)
+			for i := range vars {
+				vars[i] = bdd.Var(i)
+				if i < len(pla.InputNames) {
+					m.SetVarName(vars[i], pla.InputNames[i])
+				}
+			}
+			f, c, err := pla.OutputISF(m, vars, *plaOutput)
+			if err != nil {
+				return nil, core.ISF{}, err
+			}
+			return m, core.ISF{F: f, C: c}, nil
 		}
-		in = parsed
+		in, err := core.ParseSpec(m, *spec)
+		return m, in, err
+	}
+	m, in, err := rebuild()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	fmt.Printf("instance [f, c] over %d variables: %s\n", n, core.FormatSpec(m, in, n))
 	fmt.Printf("|f| = %d nodes, c_onset = %.1f%%\n\n", m.Size(in.F), m.Density(in.C)*100)
@@ -106,11 +118,21 @@ func main() {
 	var result bdd.Ref
 	haveResult := false
 	if *all {
-		for _, h := range core.Registry() {
-			g := report(h)
-			if h.Name() == *heuristic || !haveResult {
-				result = g
+		if *workersN != 1 {
+			runAllParallel(rebuild, n, *workersN)
+			// The DOT export needs a Ref on the main manager; recompute the
+			// selected heuristic here (sizes are canonical either way).
+			if h := core.ByName(*heuristic); h != nil {
+				result = h.Minimize(m, in.F, in.C)
 				haveResult = true
+			}
+		} else {
+			for _, h := range core.Registry() {
+				g := report(h)
+				if h.Name() == *heuristic || !haveResult {
+					result = g
+					haveResult = true
+				}
 			}
 		}
 		fmt.Printf("  %-8s size %3d\n", "low_bd", core.LowerBound(m, in.F, in.C, 1000))
@@ -139,5 +161,62 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("DOT written to %s\n", *dotFile)
+	}
+}
+
+// runAllParallel fans the registered heuristics out over a worker pool, one
+// fresh manager per heuristic run (managers are not goroutine-safe, so
+// nothing is shared). Results print in registry order, identical to the
+// sequential report.
+func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers int) {
+	heus := core.Registry()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(heus) {
+		workers = len(heus)
+	}
+	type outcome struct {
+		size int
+		text string
+		err  error
+	}
+	results := make([]outcome, len(heus))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				m, in, err := rebuild()
+				if err != nil {
+					results[i] = outcome{err: err}
+					continue
+				}
+				h := heus[i]
+				g := h.Minimize(m, in.F, in.C)
+				if !in.Cover(m, g) {
+					results[i] = outcome{err: fmt.Errorf("BUG: %s returned a non-cover", h.Name())}
+					continue
+				}
+				results[i] = outcome{
+					size: m.Size(g),
+					text: core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n),
+				}
+			}
+		}()
+	}
+	for i := range heus {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, h := range heus {
+		if results[i].err != nil {
+			fmt.Fprintln(os.Stderr, results[i].err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-8s size %3d   %s\n", h.Name(), results[i].size, results[i].text)
 	}
 }

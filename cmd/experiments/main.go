@@ -10,6 +10,11 @@
 //
 //	experiments [-bench s344,tlc,...] [-table N] [-figure N] [-summary]
 //	            [-iters N] [-maxnodes N] [-lbcubes N] [-validate] [-o FILE]
+//	            [-workers N]
+//
+// With -workers > 1 (0 = GOMAXPROCS) the benchmarks run on a worker pool,
+// one BDD manager per worker; tables and records are identical to a
+// sequential run (only wall-clock changes).
 //
 // With no selection flags, everything is produced.
 package main
@@ -38,6 +43,7 @@ func main() {
 		validate  = flag.Bool("validate", false, "verify every heuristic result is a cover")
 		extended  = flag.Bool("extended", false, "also run the extension heuristics (sched, robust)")
 		plainLB   = flag.Bool("plainlb", false, "use the paper's plain DFS cube bound instead of the improved large-cube split")
+		workers   = flag.Int("workers", 1, "run benchmarks across this many workers (one BDD manager each; 0 = GOMAXPROCS)")
 		outFile   = flag.String("o", "", "also write the report to this file")
 		csvFile   = flag.String("csv", "", "write raw per-call records to this CSV file")
 		quiet     = flag.Bool("q", false, "suppress per-benchmark progress")
@@ -86,12 +92,22 @@ func main() {
 	if *extended {
 		cfg.Heuristics = append(core.ExtendedRegistry(), core.FAndC(), core.FOrNC(), core.FOrig())
 	}
-	col, runs, err := harness.RunSuite(names, harness.RunConfig{
+	rc := harness.RunConfig{
 		Collector:     cfg,
 		MaxIterations: *iters,
 		MaxNodes:      *maxNodes,
 		Progress:      progress,
-	})
+	}
+	var (
+		col  *harness.Collector
+		runs []harness.BenchmarkRun
+		err  error
+	)
+	if *workers == 1 {
+		col, runs, err = harness.RunSuite(names, rc)
+	} else {
+		col, runs, err = harness.RunSuiteParallel(names, rc, *workers)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

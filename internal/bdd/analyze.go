@@ -1,31 +1,48 @@
 package bdd
 
-import "sort"
+// The analysis walks below are the kernel's hottest read-only paths: the
+// harness calls Size and Density on every intercepted minimization call, and
+// the heuristics call Support/size counting in their inner loops. They all
+// run on the Manager's generation-stamp scratch (stamp.go) and reusable
+// buffers, so a walk performs no heap allocation beyond its own result.
 
 // Support returns the variables f depends on, in ascending order.
 func (m *Manager) Support(f Ref) []Var {
-	m.checkRef(f)
-	seen := make(map[uint32]bool)
-	vars := make(map[Var]bool)
-	m.supportWalk(f, seen, vars)
-	out := make([]Var, 0, len(vars))
-	for v := range vars {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.AppendSupport(nil, f)
 }
 
-func (m *Manager) supportWalk(f Ref, seen map[uint32]bool, vars map[Var]bool) {
+// AppendSupport appends the variables f depends on to dst, in ascending
+// order, and returns the extended slice. Passing a reused buffer makes the
+// support computation allocation-free.
+func (m *Manager) AppendSupport(dst []Var, f Ref) []Var {
+	m.checkRef(f)
+	gen := m.newStamp()
+	m.supportWalk(f, gen)
+	return m.appendStampedVars(dst, gen)
+}
+
+func (m *Manager) supportWalk(f Ref, gen uint32) {
 	idx := f.index()
-	if idx == 0 || seen[idx] {
+	if idx == 0 || m.stamp[idx] == gen {
 		return
 	}
-	seen[idx] = true
+	m.stamp[idx] = gen
 	n := &m.nodes[idx]
-	vars[Var(n.level)] = true
-	m.supportWalk(n.high, seen, vars)
-	m.supportWalk(n.low, seen, vars)
+	m.varStamp[n.level] = gen
+	m.supportWalk(n.high, gen)
+	m.supportWalk(n.low, gen)
+}
+
+// appendStampedVars scans the per-variable stamps and appends every variable
+// marked in this generation. The scan order is the variable order, so the
+// result is ascending without sorting.
+func (m *Manager) appendStampedVars(dst []Var, gen uint32) []Var {
+	for v, g := range m.varStamp {
+		if g == gen {
+			dst = append(dst, Var(v))
+		}
+	}
+	return dst
 }
 
 // SupportCube returns the positive cube of f's support variables.
@@ -34,59 +51,42 @@ func (m *Manager) SupportCube(f Ref) Ref { return m.CubeVars(m.Support(f)...) }
 // SupportUnion returns the union of the supports of the given functions,
 // ascending.
 func (m *Manager) SupportUnion(fs ...Ref) []Var {
-	vars := make(map[Var]bool)
-	seen := make(map[uint32]bool)
+	gen := m.newStamp()
 	for _, f := range fs {
 		m.checkRef(f)
-		m.supportWalk(f, seen, vars)
+		m.supportWalk(f, gen)
 	}
-	out := make([]Var, 0, len(vars))
-	for v := range vars {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.appendStampedVars(nil, gen)
 }
 
 // Size returns the number of nodes in f's diagram, including the terminal
 // node, matching |f| as defined in the paper (Section 2).
 func (m *Manager) Size(f Ref) int {
 	m.checkRef(f)
-	seen := make(map[uint32]bool)
-	m.markReach(f, seen)
-	return len(seen) + 1 // +1 for the terminal
+	gen := m.newStamp()
+	return m.countReach(f, gen) + 1 // +1 for the terminal
 }
 
 // SharedSize returns the node count of the shared diagram of all given
 // functions, including the terminal.
 func (m *Manager) SharedSize(fs ...Ref) int {
-	seen := make(map[uint32]bool)
+	gen := m.newStamp()
+	count := 0
 	for _, f := range fs {
 		m.checkRef(f)
-		m.markReach(f, seen)
+		count += m.countReach(f, gen)
 	}
-	return len(seen) + 1
-}
-
-func (m *Manager) markReach(f Ref, seen map[uint32]bool) {
-	idx := f.index()
-	if idx == 0 || seen[idx] {
-		return
-	}
-	seen[idx] = true
-	n := &m.nodes[idx]
-	m.markReach(n.high, seen)
-	m.markReach(n.low, seen)
+	return count + 1
 }
 
 // NodesBelowLevel returns N_i(f): the number of nonterminal nodes of f's
 // diagram strictly below level i, per Definition 11 of the paper.
 func (m *Manager) NodesBelowLevel(f Ref, i Var) int {
 	m.checkRef(f)
-	seen := make(map[uint32]bool)
-	m.markReach(f, seen)
+	gen := m.newStamp()
+	m.markBuf = m.appendReach(f, gen, m.markBuf[:0])
 	count := 0
-	for idx := range seen {
+	for _, idx := range m.markBuf {
 		if m.nodes[idx].level > int32(i) {
 			count++
 		}
@@ -98,10 +98,10 @@ func (m *Manager) NodesBelowLevel(f Ref, i Var) int {
 // diagram rooted at that level. The terminal is not included.
 func (m *Manager) LevelNodes(f Ref) []int {
 	m.checkRef(f)
-	seen := make(map[uint32]bool)
-	m.markReach(f, seen)
+	gen := m.newStamp()
+	m.markBuf = m.appendReach(f, gen, m.markBuf[:0])
 	out := make([]int, m.nvars)
-	for idx := range seen {
+	for _, idx := range m.markBuf {
 		out[m.nodes[idx].level]++
 	}
 	return out
@@ -114,11 +114,14 @@ func (m *Manager) LevelNodes(f Ref) []int {
 // function over the space spanned by the union of supports.
 func (m *Manager) Density(f Ref) float64 {
 	m.checkRef(f)
-	memo := make(map[uint32]float64)
-	return m.density(f, memo)
+	gen := m.newStamp()
+	if len(m.densMemo) < len(m.nodes) {
+		m.densMemo = append(m.densMemo, make([]float64, len(m.nodes)-len(m.densMemo))...)
+	}
+	return m.density(f, gen)
 }
 
-func (m *Manager) density(f Ref, memo map[uint32]float64) float64 {
+func (m *Manager) density(f Ref, gen uint32) float64 {
 	if f == One {
 		return 1
 	}
@@ -126,11 +129,14 @@ func (m *Manager) density(f Ref, memo map[uint32]float64) float64 {
 		return 0
 	}
 	idx := f.index()
-	d, ok := memo[idx]
-	if !ok {
+	var d float64
+	if m.stamp[idx] == gen {
+		d = m.densMemo[idx]
+	} else {
 		n := &m.nodes[idx]
-		d = (m.density(n.high, memo) + m.density(n.low, memo)) / 2
-		memo[idx] = d
+		d = (m.density(n.high, gen) + m.density(n.low, gen)) / 2
+		m.stamp[idx] = gen
+		m.densMemo[idx] = d
 	}
 	if f.IsComplement() {
 		return 1 - d

@@ -102,6 +102,7 @@ func BenchmarkRestrict(b *testing.B) {
 
 func BenchmarkSize(b *testing.B) {
 	m, fs := benchSetup(14, 16, 7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Size(fs[i%16])
@@ -110,9 +111,29 @@ func BenchmarkSize(b *testing.B) {
 
 func BenchmarkDensity(b *testing.B) {
 	m, fs := benchSetup(14, 16, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Density(fs[i%16])
+	}
+}
+
+func BenchmarkSupport(b *testing.B) {
+	m, fs := benchSetup(14, 16, 7)
+	var buf []Var
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.AppendSupport(buf[:0], fs[i%16])
+	}
+}
+
+func BenchmarkSharedSize(b *testing.B) {
+	m, fs := benchSetup(14, 16, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SharedSize(fs...)
 	}
 }
 

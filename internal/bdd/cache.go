@@ -1,9 +1,14 @@
 package bdd
 
-// computedCache is a lossy, direct-mapped cache shared by the recursive
-// operators (ITE, quantification, constrain, ...). Entries are keyed by an
-// operation tag plus up to three operand Refs. Collisions simply overwrite:
-// correctness never depends on a hit.
+// computedCache is a lossy, 4-way set-associative cache shared by the
+// recursive operators (ITE, quantification, constrain, ...). Entries are
+// keyed by an operation tag plus up to three operand Refs and grouped into
+// sets of cacheWays consecutive slots; within a set, entries are kept in
+// most-recently-used order, so a hit promotes its entry to way 0 and an
+// insert evicts the coldest way. Correctness never depends on a hit; the
+// associativity only reduces how often the interleaved recursions of the
+// minimization heuristics knock out each other's results (the old
+// direct-mapped design lost an entry on every collision).
 //
 // The cache is cleared by Manager.FlushCaches and Manager.GC. Clearing
 // between heuristic invocations reproduces the measurement protocol of the
@@ -11,17 +16,26 @@ package bdd
 // heuristic so that no heuristic profits from its predecessors' cached
 // computations.
 type computedCache struct {
-	entries []cacheEntry
-	mask    uint32
-	hits    uint64
-	misses  uint64
+	entries []cacheEntry // cacheWays * numSets slots; set s is [s*cacheWays, s*cacheWays+cacheWays)
+	setMask uint32       // numSets - 1
+	stats   [opLast]opCounters
 }
+
+// cacheWays is the set associativity. Four ways keeps a set within two
+// 64-byte cache lines while absorbing the common three-operator interleaving
+// (ITE + constrain + exists) of the minimization inner loops.
+const cacheWays = 4
 
 type cacheEntry struct {
 	op      uint32
 	f, g, h Ref
 	result  Ref
 	valid   bool
+}
+
+// opCounters aggregates per-operation cache statistics.
+type opCounters struct {
+	hits, misses, evictions uint64
 }
 
 // Operation tags for the computed cache.
@@ -38,36 +52,88 @@ const (
 	opLast
 )
 
+// opNames indexes the printable operation names by tag.
+var opNames = [opLast]string{
+	opITE:       "ite",
+	opExists:    "exists",
+	opForall:    "forall",
+	opAndExists: "and_exists",
+	opConstrain: "constrain",
+	opRestrict:  "restrict",
+	opCompose:   "compose",
+	opRename:    "rename",
+	opSupport:   "support",
+}
+
+// opIndex maps an operation tag to its counter slot. Compose tags carry the
+// substituted variable in the high bits; the low byte identifies the family.
+func opIndex(op uint32) uint32 {
+	i := op & 0xff
+	if i >= uint32(opLast) {
+		i = 0
+	}
+	return i
+}
+
 func (c *computedCache) init(bits int) {
-	c.entries = make([]cacheEntry, 1<<bits)
-	c.mask = uint32(len(c.entries) - 1)
+	total := 1 << bits
+	if total < cacheWays {
+		total = cacheWays
+	}
+	c.entries = make([]cacheEntry, total)
+	c.setMask = uint32(total/cacheWays - 1)
 }
 
 func (c *computedCache) clear() {
 	for i := range c.entries {
 		c.entries[i] = cacheEntry{}
 	}
-	c.hits, c.misses = 0, 0
+	c.stats = [opLast]opCounters{}
 }
 
-func (c *computedCache) slot(op uint32, f, g, h Ref) *cacheEntry {
-	idx := hash3(uint32(f)*31+op, uint32(g), uint32(h)) & c.mask
-	return &c.entries[idx]
+// set returns the ways of the set addressing (op, f, g, h).
+func (c *computedCache) set(op uint32, f, g, h Ref) []cacheEntry {
+	base := (hash3(uint32(f)*31+op, uint32(g), uint32(h)) & c.setMask) * cacheWays
+	return c.entries[base : base+cacheWays : base+cacheWays]
 }
 
 func (c *computedCache) lookup(op uint32, f, g, h Ref) (Ref, bool) {
-	e := c.slot(op, f, g, h)
-	if e.valid && e.op == op && e.f == f && e.g == g && e.h == h {
-		c.hits++
-		return e.result, true
+	set := c.set(op, f, g, h)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.op == op && e.f == f && e.g == g && e.h == h {
+			r := e.result
+			if i != 0 {
+				// Promote to MRU so the set evicts cold entries first.
+				hit := *e
+				copy(set[1:i+1], set[:i])
+				set[0] = hit
+			}
+			c.stats[opIndex(op)].hits++
+			return r, true
+		}
 	}
-	c.misses++
+	c.stats[opIndex(op)].misses++
 	return 0, false
 }
 
 func (c *computedCache) insert(op uint32, f, g, h, result Ref) {
-	e := c.slot(op, f, g, h)
-	*e = cacheEntry{op: op, f: f, g: g, h: h, result: result, valid: true}
+	set := c.set(op, f, g, h)
+	victim := cacheWays - 1
+	for i := range set {
+		e := &set[i]
+		if !e.valid || (e.op == op && e.f == f && e.g == g && e.h == h) {
+			victim = i
+			break
+		}
+	}
+	if v := &set[victim]; v.valid && !(v.op == op && v.f == f && v.g == g && v.h == h) {
+		// A live entry of another computation is displaced; charge the
+		// eviction to the operation losing its result.
+		c.stats[opIndex(v.op)].evictions++
+	}
+	copy(set[1:victim+1], set[:victim])
+	set[0] = cacheEntry{op: op, f: f, g: g, h: h, result: result, valid: true}
 }
 
 // FlushCaches clears the computed caches without reclaiming nodes. See the
@@ -76,5 +142,34 @@ func (c *computedCache) insert(op uint32, f, g, h, result Ref) {
 func (m *Manager) FlushCaches() { m.cache.clear() }
 
 // CacheStats returns the computed-cache hit and miss counters accumulated
-// since the last flush.
-func (m *Manager) CacheStats() (hits, misses uint64) { return m.cache.hits, m.cache.misses }
+// since the last flush, summed over all operations.
+func (m *Manager) CacheStats() (hits, misses uint64) {
+	for _, s := range m.cache.stats {
+		hits += s.hits
+		misses += s.misses
+	}
+	return hits, misses
+}
+
+// CacheOpStats reports one operation's computed-cache counters since the
+// last flush. Evictions count entries of this operation displaced by later
+// inserts into a full set.
+type CacheOpStats struct {
+	Op                      string
+	Hits, Misses, Evictions uint64
+}
+
+// CacheStatsByOp returns the per-operation computed-cache counters since the
+// last flush, in a fixed operation order, omitting operations with no
+// activity.
+func (m *Manager) CacheStatsByOp() []CacheOpStats {
+	var out []CacheOpStats
+	for op := uint32(1); op < uint32(opLast); op++ {
+		s := m.cache.stats[op]
+		if s.hits == 0 && s.misses == 0 && s.evictions == 0 {
+			continue
+		}
+		out = append(out, CacheOpStats{Op: opNames[op], Hits: s.hits, Misses: s.misses, Evictions: s.evictions})
+	}
+	return out
+}

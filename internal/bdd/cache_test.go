@@ -1,0 +1,113 @@
+package bdd
+
+import "testing"
+
+// singleSetCache builds the smallest cache (one set of cacheWays entries) so
+// every key collides and the associative behavior is directly observable.
+func singleSetCache() *computedCache {
+	var c computedCache
+	c.init(2)
+	return &c
+}
+
+func TestCacheAssociativityRetainsCollidingEntries(t *testing.T) {
+	c := singleSetCache()
+	// cacheWays distinct keys, all forced into the same (only) set. A
+	// direct-mapped cache would keep just the last one.
+	for i := 0; i < cacheWays; i++ {
+		c.insert(opITE, Ref(2*i+2), One, Zero, Ref(100+2*i))
+	}
+	for i := 0; i < cacheWays; i++ {
+		r, ok := c.lookup(opITE, Ref(2*i+2), One, Zero)
+		if !ok {
+			t.Fatalf("entry %d lost despite %d-way associativity", i, cacheWays)
+		}
+		if r != Ref(100+2*i) {
+			t.Fatalf("entry %d: got %v, want %v", i, r, Ref(100+2*i))
+		}
+	}
+}
+
+func TestCacheEvictsColdestWay(t *testing.T) {
+	c := singleSetCache()
+	for i := 0; i < cacheWays; i++ {
+		c.insert(opITE, Ref(2*i+2), One, Zero, Ref(100+2*i))
+	}
+	// Touch every entry except the first, so key 0 becomes the LRU way.
+	for i := 1; i < cacheWays; i++ {
+		if _, ok := c.lookup(opITE, Ref(2*i+2), One, Zero); !ok {
+			t.Fatalf("warm-up lookup %d missed", i)
+		}
+	}
+	c.insert(opITE, Ref(2*cacheWays+2), One, Zero, Ref(200))
+	if _, ok := c.lookup(opITE, Ref(2), One, Zero); ok {
+		t.Fatal("coldest entry must be the eviction victim")
+	}
+	for i := 1; i < cacheWays; i++ {
+		if _, ok := c.lookup(opITE, Ref(2*i+2), One, Zero); !ok {
+			t.Fatalf("recently used entry %d was evicted", i)
+		}
+	}
+	if got := c.stats[opITE].evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+}
+
+func TestCacheInsertSameKeyUpdatesInPlace(t *testing.T) {
+	c := singleSetCache()
+	c.insert(opConstrain, Ref(2), Ref(4), 0, Ref(6))
+	c.insert(opConstrain, Ref(2), Ref(4), 0, Ref(8))
+	if r, ok := c.lookup(opConstrain, Ref(2), Ref(4), 0); !ok || r != Ref(8) {
+		t.Fatalf("re-insert must update: ok=%v r=%v", ok, r)
+	}
+	if got := c.stats[opConstrain].evictions; got != 0 {
+		t.Fatalf("same-key update counted as eviction: %d", got)
+	}
+}
+
+func TestCachePerOpCounters(t *testing.T) {
+	m := New(6)
+	f := m.Xor(m.MkVar(0), m.MkVar(1))
+	g := m.And(m.MkVar(2), m.MkVar(3))
+	m.FlushCaches()
+	_ = m.And(f, g)
+	_ = m.And(f, g) // the top-level triple at least must hit
+	_ = m.Constrain(f, m.Or(g, m.MkVar(4)))
+	stats := m.CacheStatsByOp()
+	byOp := make(map[string]CacheOpStats, len(stats))
+	for _, s := range stats {
+		byOp[s.Op] = s
+	}
+	if s := byOp["ite"]; s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("ite counters must accumulate: %+v", s)
+	}
+	if s := byOp["constrain"]; s.Misses == 0 {
+		t.Fatalf("constrain misses must accumulate: %+v", s)
+	}
+	// Totals agree with the legacy two-counter view.
+	hits, misses := m.CacheStats()
+	var sh, sm uint64
+	for _, s := range stats {
+		sh += s.Hits
+		sm += s.Misses
+	}
+	if sh != hits || sm != misses {
+		t.Fatalf("per-op sums (%d,%d) disagree with CacheStats (%d,%d)", sh, sm, hits, misses)
+	}
+	m.FlushCaches()
+	if got := m.CacheStatsByOp(); len(got) != 0 {
+		t.Fatalf("FlushCaches must reset per-op stats, got %v", got)
+	}
+}
+
+func TestCacheFlushPreservesResults(t *testing.T) {
+	m := New(8)
+	rng := newRand(77)
+	a, b := randTT(rng, 8), randTT(rng, 8)
+	fa, fb := a.build(m), b.build(m)
+	want := m.ITE(fa, fb, fa.Not())
+	m.FlushCaches()
+	if got := m.ITE(fa, fb, fa.Not()); got != want {
+		t.Fatal("results must be identical after a flush (canonicity)")
+	}
+}

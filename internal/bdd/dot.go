@@ -17,14 +17,11 @@ func (m *Manager) WriteDot(w io.Writer, roots map[string]Ref) error {
 	}
 	sort.Strings(names)
 
-	seen := make(map[uint32]bool)
+	gen := m.newStamp()
+	var order []uint32
 	for _, name := range names {
 		m.checkRef(roots[name])
-		m.markReach(roots[name], seen)
-	}
-	order := make([]uint32, 0, len(seen))
-	for idx := range seen {
-		order = append(order, idx)
+		order = m.appendReach(roots[name], gen, order)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 

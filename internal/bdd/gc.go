@@ -33,12 +33,16 @@ func (m *Manager) Unprotect(f Ref) {
 // It returns the number of nodes collected.
 func (m *Manager) GC(extra ...Ref) int {
 	m.stGCRuns++
-	alive := make([]bool, len(m.nodes))
-	alive[0] = true // terminal
-	var stack []uint32
+	// Mark through the shared generation-stamp scratch (stamp.go) with a
+	// reusable explicit stack: the collector allocates nothing after
+	// warm-up, which matters because the traversal loops of the experiment
+	// harness collect every iteration.
+	gen := m.newStamp()
+	m.stamp[0] = gen // terminal
+	stack := m.markBuf[:0]
 	push := func(f Ref) {
-		if idx := f.index(); !alive[idx] {
-			alive[idx] = true
+		if idx := f.index(); m.stamp[idx] != gen {
+			m.stamp[idx] = gen
 			stack = append(stack, idx)
 		}
 	}
@@ -56,18 +60,25 @@ func (m *Manager) GC(extra ...Ref) int {
 		push(n.high)
 		push(n.low)
 	}
-	collected := 0
+	m.markBuf = stack[:0] // keep the grown capacity for the next walk
+	// Sweep, recomputing the live count absolutely: slots freed by an
+	// earlier collection and not yet reused are swept again here, so
+	// decrementing per freed slot (as the code once did) would double-count
+	// them and let the accounting drift below the true live population.
+	liveBefore := m.live
+	liveNow := 1 // terminal
 	m.free = m.free[:0]
 	for i := len(m.nodes) - 1; i >= 1; i-- {
-		if !alive[i] {
+		if m.stamp[i] == gen {
+			liveNow++
+		} else {
 			m.free = append(m.free, uint32(i))
-			collected++
 		}
 	}
-	m.live -= collected
+	m.live = liveNow
 	m.rehash()
 	m.cache.clear()
-	return collected
+	return liveBefore - liveNow
 }
 
 // GCRuns returns the number of garbage collections performed.

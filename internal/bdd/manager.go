@@ -24,6 +24,15 @@ type Manager struct {
 
 	roots map[Ref]int // external references with counts
 
+	// Traversal scratch (see stamp.go): generation-stamped visited sets
+	// shared by every analysis walk, GC marking and rehash dead-marking, so
+	// hot-path traversals allocate nothing after warm-up.
+	stamp    []uint32  // per-node generation stamps, grown with the arena
+	varStamp []uint32  // per-variable generation stamps (support walks)
+	stampGen uint32    // current traversal generation; 0 is never valid
+	markBuf  []uint32  // reusable explicit stack / index buffer
+	densMemo []float64 // per-node density memo, valid where stamp matches
+
 	// statistics
 	stGCRuns    int
 	stNodesMade uint64
@@ -33,11 +42,34 @@ type Manager struct {
 // reasonable defaults.
 type Config struct {
 	// InitialBuckets is the starting size of the unique table (rounded up
-	// to a power of two). Default 1 << 12.
+	// to a power of two). Default 1 << 12, capped at maxBuckets.
 	InitialBuckets int
 	// CacheBits selects the computed-cache size as 1 << CacheBits entries.
-	// Default 16.
+	// Default 16, capped at maxCacheBits.
 	CacheBits int
+}
+
+// Caps keeping absurd Config values from overflowing the power-of-two
+// arithmetic (ceilPow2) or attempting multi-gigabyte allocations up front.
+const (
+	maxBuckets   = 1 << 28
+	maxCacheBits = 26
+)
+
+// normalize applies defaults and caps, returning a Config that is safe to
+// allocate from on any platform.
+func (c Config) normalize() Config {
+	if c.InitialBuckets <= 0 {
+		c.InitialBuckets = 1 << 12
+	}
+	c.InitialBuckets = ceilPow2(c.InitialBuckets)
+	if c.CacheBits <= 0 {
+		c.CacheBits = 16
+	}
+	if c.CacheBits > maxCacheBits {
+		c.CacheBits = maxCacheBits
+	}
+	return c
 }
 
 // New creates a Manager with nvars variables, numbered 0..nvars-1 in order
@@ -51,29 +83,28 @@ func NewWithConfig(nvars int, cfg Config) *Manager {
 	if nvars < 0 {
 		panic("bdd: negative variable count")
 	}
+	cfg = cfg.normalize()
 	nb := cfg.InitialBuckets
-	if nb <= 0 {
-		nb = 1 << 12
-	}
-	nb = ceilPow2(nb)
-	cb := cfg.CacheBits
-	if cb <= 0 {
-		cb = 16
-	}
 	m := &Manager{
 		buckets: make([]uint32, nb),
 		mask:    uint32(nb - 1),
 		nvars:   nvars,
 		roots:   make(map[Ref]int),
 	}
-	m.cache.init(cb)
+	m.cache.init(cfg.CacheBits)
 	// Node 0 is the terminal.
 	m.nodes = append(m.nodes, node{level: terminalLevel})
 	m.live = 1
 	return m
 }
 
+// ceilPow2 rounds n up to the next power of two, saturating at maxBuckets so
+// absurd requests can neither overflow the shift nor demand an allocation
+// larger than the arena could ever need.
 func ceilPow2(n int) int {
+	if n >= maxBuckets {
+		return maxBuckets
+	}
 	p := 1
 	for p < n {
 		p <<= 1
@@ -214,20 +245,25 @@ func (m *Manager) growBuckets() {
 	m.rehash()
 }
 
-// rehash rebuilds the unique table from the live arena contents. Dead
-// nodes (present in the free list) are skipped via the alive bitmap
-// computed from chain reconstruction: callers must guarantee that every
+// rehash rebuilds the unique table from the live arena contents. Dead nodes
+// (present in the free list) are skipped via the shared generation-stamp
+// scratch — rehash runs on the hot allocation path (every bucket growth), so
+// it must not allocate a per-call set. Callers must guarantee that every
 // node outside the free list is valid.
 func (m *Manager) rehash() {
 	for i := range m.buckets {
 		m.buckets[i] = 0
 	}
-	dead := make(map[uint32]bool, len(m.free))
-	for _, i := range m.free {
-		dead[i] = true
+	haveDead := len(m.free) > 0
+	var gen uint32
+	if haveDead {
+		gen = m.newStamp()
+		for _, i := range m.free {
+			m.stamp[i] = gen
+		}
 	}
 	for i := 1; i < len(m.nodes); i++ {
-		if dead[uint32(i)] {
+		if haveDead && m.stamp[i] == gen {
 			continue
 		}
 		n := &m.nodes[i]

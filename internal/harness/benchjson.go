@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// KernelBench is one benchmark measurement destined for BENCH_kernel.json:
+// a micro-benchmark of a kernel primitive or a suite-level wall-clock run.
+// NodesMade carries the Manager's allocation counter where it is meaningful
+// (suite runs and node-building micros), giving later PRs a work measure to
+// normalize runtimes against.
+type KernelBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NodesMade   uint64  `json:"nodes_made,omitempty"`
+}
+
+// BenchReport is the top-level BENCH_kernel.json document. Successive PRs
+// append comparable reports, so the schema carries enough environment to
+// interpret the numbers (worker count, GOMAXPROCS, timestamp).
+type BenchReport struct {
+	Schema     string        `json:"schema"` // "bddmin-bench-kernel/1"
+	Timestamp  time.Time     `json:"timestamp"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Benchmarks []KernelBench `json:"benchmarks"`
+}
+
+// BenchReportSchema identifies the BENCH_kernel.json layout version.
+const BenchReportSchema = "bddmin-bench-kernel/1"
+
+// WriteBenchJSON emits the report as indented JSON.
+func WriteBenchJSON(w io.Writer, r BenchReport) error {
+	if r.Schema == "" {
+		r.Schema = BenchReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

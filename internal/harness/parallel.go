@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bddmin/internal/circuits"
+)
+
+// RunSuiteParallel runs every named benchmark (nil = the full paper suite)
+// across a pool of workers and returns the merged per-call records alongside
+// the per-benchmark traversal results.
+//
+// Parallelism follows the bdd package's concurrency model: a Manager is not
+// safe for concurrent use, so nothing manager-owned is shared. Each
+// benchmark run builds its own Manager (inside RunBenchmark) and records
+// into its own private Collector; the workers only share the job queue and
+// disjoint slots of the result slices. Merging happens after all workers
+// have finished.
+//
+// The output is deterministic regardless of scheduling: runs and records
+// appear in the order of the requested names, exactly as RunSuite would
+// produce them (per-call runtimes differ, sizes and bounds do not — see
+// TestParallelMatchesSequential). workers <= 0 selects GOMAXPROCS; one
+// worker degenerates to a sequential run.
+func RunSuiteParallel(names []string, rc RunConfig, workers int) (*Collector, []BenchmarkRun, error) {
+	if names == nil {
+		names = circuits.Names()
+	}
+	// Resolve all names up front so an unknown benchmark fails before any
+	// work is spawned.
+	infos := make([]circuits.BenchmarkInfo, len(names))
+	for i, name := range names {
+		info, err := circuits.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		infos[i] = info
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(infos) {
+		workers = len(infos)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		cols  = make([]*Collector, len(infos))
+		runs  = make([]BenchmarkRun, len(infos))
+		errs  = make([]error, len(infos))
+		jobs  = make(chan int)
+		wg    sync.WaitGroup
+		outMu sync.Mutex // serializes Progress lines only
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				col := NewCollector(rc.Collector)
+				run, err := RunBenchmark(infos[i], col, rc)
+				cols[i], runs[i], errs[i] = col, run, err
+				if rc.Progress != nil {
+					outMu.Lock()
+					if err != nil {
+						fmt.Fprintf(rc.Progress, "%-10s FAILED: %v\n", infos[i].Name, err)
+					} else {
+						fmt.Fprintf(rc.Progress, "%-10s %s (%d minimize calls recorded)\n",
+							infos[i].Name, run.Result.String(), run.Calls)
+					}
+					outMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range infos {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// First error in request order, for determinism.
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	merged := NewCollector(rc.Collector)
+	for _, col := range cols {
+		merged.Records = append(merged.Records, col.Records...)
+		merged.FilteredTrivial += col.FilteredTrivial
+		merged.FilteredSize += col.FilteredSize
+	}
+	return merged, runs, nil
+}

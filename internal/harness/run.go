@@ -42,6 +42,9 @@ type BenchmarkRun struct {
 	Name   string
 	Result fsm.Result
 	Calls  int // instrumented minimization calls contributed
+	// NodesMade is the manager's cumulative node-allocation counter after
+	// the run — the work measure recorded in BENCH_kernel.json.
+	NodesMade uint64
 }
 
 // RunBenchmark checks one suite machine against itself with the collector
@@ -67,7 +70,7 @@ func RunBenchmark(info circuits.BenchmarkInfo, col *Collector, rc RunConfig) (Be
 	if !res.Equal {
 		return BenchmarkRun{}, fmt.Errorf("harness: %s: self-equivalence failed (instrumentation bug)", info.Name)
 	}
-	return BenchmarkRun{Name: info.Name, Result: res, Calls: len(col.Records) - before}, nil
+	return BenchmarkRun{Name: info.Name, Result: res, Calls: len(col.Records) - before, NodesMade: m.NodesMade()}, nil
 }
 
 // RunSuite runs every named benchmark (nil = the full paper suite) and
