@@ -9,7 +9,9 @@
 // Usage:
 //
 //	bddmin -spec "d1 01 1d 01" [-heuristic osm_bt] [-all] [-exact] [-dot out.dot]
-//	       [-workers N]
+//	       [-workers N] [-trace] [-trace-out trace.jsonl]
+//	bddmin -pla file.pla [-output K] ...
+//	bddmin -blif file.blif [-node NAME] ...
 //
 // With -all, every registered heuristic plus the lower bound is reported;
 // with -exact (instances up to 20 don't-care minterms), the brute-force
@@ -17,56 +19,137 @@
 // the heuristics run concurrently, each on its own BDD manager rebuilt from
 // the input (managers are not safe for concurrent use); sizes and reported
 // covers are identical to a sequential run because BDD sizes are canonical.
+//
+// With -blif the instance comes from a logic network: the named internal
+// node's function is minimized against the complement of its observability
+// don't-care set ([f, ¬ODC], the synthesis-side source of incompletely
+// specified functions). Without -node the first internal node with a
+// non-trivial ODC is chosen.
+//
+// -trace streams pipeline events (heuristic applications, schedule
+// windows, level-match rounds) live to stderr and prints the aggregated
+// per-heuristic metrics table after the run; -trace-out additionally
+// writes the event stream as JSONL. -cpuprofile/-memprofile write pprof
+// profiles.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/core"
 	"bddmin/internal/logic"
+	"bddmin/internal/obs"
 )
 
 func main() {
 	var (
-		spec      = flag.String("spec", "", "function in leaf notation, e.g. \"d1 01\"")
-		plaFile   = flag.String("pla", "", "read the instance from an espresso PLA file instead of -spec")
-		plaOutput = flag.Int("output", 0, "which PLA output to minimize")
-		heuristic = flag.String("heuristic", "osm_bt", "heuristic name (const, restr, osm_td, osm_nv, osm_cp, osm_bt, tsm_td, tsm_cp, opt_lv, sched, robust)")
-		all       = flag.Bool("all", false, "run every heuristic and the lower bound")
-		exact     = flag.Bool("exact", false, "also compute the exact minimum by brute force")
-		dotFile   = flag.String("dot", "", "write the minimized BDD to this DOT file")
-		workersN  = flag.Int("workers", 1, "with -all, run heuristics on this many workers (one BDD manager each; 0 = GOMAXPROCS)")
+		spec       = flag.String("spec", "", "function in leaf notation, e.g. \"d1 01\"")
+		plaFile    = flag.String("pla", "", "read the instance from an espresso PLA file instead of -spec")
+		plaOutput  = flag.Int("output", 0, "which PLA output to minimize")
+		blifFile   = flag.String("blif", "", "read the instance from a BLIF netlist: minimize an internal node against its observability don't cares")
+		nodeName   = flag.String("node", "", "with -blif, the internal node to minimize (default: first node with a non-trivial ODC)")
+		heuristic  = flag.String("heuristic", "osm_bt", "heuristic name (const, restr, osm_td, osm_nv, osm_cp, osm_bt, tsm_td, tsm_cp, opt_lv, sched, robust)")
+		all        = flag.Bool("all", false, "run every heuristic and the lower bound")
+		exact      = flag.Bool("exact", false, "also compute the exact minimum by brute force")
+		dotFile    = flag.String("dot", "", "write the minimized BDD to this DOT file")
+		workersN   = flag.Int("workers", 1, "with -all, run heuristics on this many workers (one BDD manager each; 0 = GOMAXPROCS)")
+		trace      = flag.Bool("trace", false, "stream pipeline events to stderr and print the per-heuristic metrics table")
+		traceOut   = flag.String("trace-out", "", "write the event stream as JSONL to this file")
+		traceTimes = flag.Bool("trace-timings", false, "include nanosecond durations in -trace-out (off keeps traces byte-deterministic)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
-	if *spec == "" && *plaFile == "" {
+	if *spec == "" && *plaFile == "" && *blifFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// The tracer fans out to every requested sink; nil when tracing is off,
+	// which keeps the heuristics on their unobserved (allocation-free) path.
 	var (
-		pla *logic.PLA
-		n   int
+		metrics *obs.Metrics
+		sinks   []obs.Tracer
 	)
-	if *plaFile != "" {
+	if *trace {
+		metrics = &obs.Metrics{}
+		sinks = append(sinks, metrics, obs.NewProgress(os.Stderr))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriter(f)
+		jl := obs.NewJSONL(bw)
+		jl.Timings = *traceTimes
+		sinks = append(sinks, jl)
+		defer func() {
+			if err := jl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			bw.Flush()
+			f.Close()
+		}()
+	}
+	tracer := obs.Multi(sinks...)
+
+	var (
+		pla    *logic.PLA
+		net    *logic.Network
+		target *logic.Node
+		n      int
+	)
+	switch {
+	case *plaFile != "":
 		file, err := os.Open(*plaFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		parsed, err := logic.ParsePLA(file)
 		file.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		pla = parsed
 		n = pla.NumInputs
-	} else {
+	case *blifFile != "":
+		file, err := os.Open(*blifFile)
+		if err != nil {
+			fail(err)
+		}
+		parsed, err := logic.ParseBLIF(file)
+		file.Close()
+		if err != nil {
+			fail(err)
+		}
+		net = parsed
+		n = net.PrimaryInputCount() + net.LatchCount()
+		target, err = pickNode(net, *nodeName)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: node %q against its observability don't cares\n", net.Name, target.Name)
+	default:
 		clean := strings.ReplaceAll(strings.ReplaceAll(*spec, " ", ""), "\t", "")
 		for 1<<n < len(clean) {
 			n++
@@ -76,7 +159,8 @@ func main() {
 	// gives every worker its own (managers are single-goroutine).
 	rebuild := func() (*bdd.Manager, core.ISF, error) {
 		m := bdd.New(n)
-		if pla != nil {
+		switch {
+		case pla != nil:
 			vars := make([]bdd.Var, n)
 			for i := range vars {
 				vars[i] = bdd.Var(i)
@@ -89,14 +173,19 @@ func main() {
 				return nil, core.ISF{}, err
 			}
 			return m, core.ISF{F: f, C: c}, nil
+		case net != nil:
+			f, c, err := logic.NodeISF(m, net, blifEnv(m, net), target)
+			if err != nil {
+				return nil, core.ISF{}, err
+			}
+			return m, core.ISF{F: f, C: c}, nil
 		}
 		in, err := core.ParseSpec(m, *spec)
 		return m, in, err
 	}
 	m, in, err := rebuild()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("instance [f, c] over %d variables: %s\n", n, core.FormatSpec(m, in, n))
 	fmt.Printf("|f| = %d nodes, c_onset = %.1f%%\n\n", m.Size(in.F), m.Density(in.C)*100)
@@ -106,7 +195,7 @@ func main() {
 	}
 
 	report := func(h core.Minimizer) bdd.Ref {
-		g := h.Minimize(m, in.F, in.C)
+		g := instrument(h, tracer).Minimize(m, in.F, in.C)
 		if !in.Cover(m, g) {
 			fmt.Fprintf(os.Stderr, "BUG: %s returned a non-cover\n", h.Name())
 			os.Exit(1)
@@ -119,7 +208,7 @@ func main() {
 	haveResult := false
 	if *all {
 		if *workersN != 1 {
-			runAllParallel(rebuild, n, *workersN)
+			runAllParallel(rebuild, n, *workersN, tracer)
 			// The DOT export needs a Ref on the main manager; recompute the
 			// selected heuristic here (sizes are canonical either way).
 			if h := core.ByName(*heuristic); h != nil {
@@ -149,26 +238,129 @@ func main() {
 		g, size := core.ExactMinimize(m, in.F, in.C, n)
 		fmt.Printf("  %-8s size %3d   %s\n", "exact", size, core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n))
 	}
+	if metrics != nil {
+		fmt.Println()
+		metrics.Format(os.Stdout)
+	}
 	if *dotFile != "" && haveResult {
 		f, err := os.Create(*dotFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		if err := m.WriteDot(f, map[string]bdd.Ref{"f": in.F, "c": in.C, "min": result}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("DOT written to %s\n", *dotFile)
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// instrument connects a heuristic to the tracer. Minimizers that stream
+// their own events get their Trace field set — sibling heuristics emit
+// heuristic events with sibling-match counts themselves (wrapping them too
+// would double-count in the metrics table), while the scheduler and
+// opt_lv emit window/level-round events and still want the overall
+// summary event from the generic wrapper. Everything else is wrapped.
+func instrument(h core.Minimizer, tr obs.Tracer) core.Minimizer {
+	if tr == nil {
+		return h
+	}
+	switch t := h.(type) {
+	case *core.SiblingHeuristic:
+		t.Trace = tr
+		return h
+	case *core.Scheduler:
+		t.Trace = tr
+	case *core.OptLv:
+		t.Trace = tr
+	}
+	return core.Traced(h, tr)
+}
+
+// blifEnv binds the network's primary inputs and latch outputs (present-
+// state variables) to BDD variables, in declaration order — the same
+// binding the fsm compiler uses.
+func blifEnv(m *bdd.Manager, net *logic.Network) logic.Env {
+	env := logic.Env{}
+	v := 0
+	for _, in := range net.Inputs {
+		env[in] = m.MkVar(bdd.Var(v))
+		m.SetVarName(bdd.Var(v), in.Name)
+		v++
+	}
+	for _, l := range net.Latches {
+		env[l.Output] = m.MkVar(bdd.Var(v))
+		m.SetVarName(bdd.Var(v), l.Output.Name)
+		v++
+	}
+	return env
+}
+
+// pickNode resolves -node, or scans for the first internal node whose ODC
+// set is non-trivial (so the demo instance has real freedom to exploit).
+func pickNode(net *logic.Network, name string) (*logic.Node, error) {
+	internal := func(nd *logic.Node) bool {
+		return nd.Type != logic.Input && nd.Type != logic.Const
+	}
+	if name != "" {
+		for _, nd := range net.Nodes() {
+			if nd.Name == name {
+				if !internal(nd) {
+					return nil, fmt.Errorf("node %q is not an internal gate", name)
+				}
+				return nd, nil
+			}
+		}
+		return nil, fmt.Errorf("no node named %q in %s", name, net.Name)
+	}
+	scratch := bdd.New(net.PrimaryInputCount() + net.LatchCount())
+	env := blifEnv(scratch, net)
+	var first *logic.Node
+	for _, nd := range net.Nodes() {
+		if !internal(nd) {
+			continue
+		}
+		if first == nil {
+			first = nd
+		}
+		f, c, err := logic.NodeISF(scratch, net, env, nd)
+		if err != nil {
+			return nil, err
+		}
+		in := core.ISF{F: f, C: c}
+		if _, trivial := in.Trivial(scratch); !trivial && c != bdd.One {
+			return nd, nil
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("%s has no internal nodes", net.Name)
+	}
+	return first, nil // every ODC trivial; fall back to the first gate
 }
 
 // runAllParallel fans the registered heuristics out over a worker pool, one
 // fresh manager per heuristic run (managers are not goroutine-safe, so
 // nothing is shared). Results print in registry order, identical to the
-// sequential report.
-func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers int) {
+// sequential report. Trace events are buffered per heuristic and replayed
+// into the tracer in registry order after all workers finish, so the
+// merged stream matches a sequential run's.
+func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers int, tracer obs.Tracer) {
 	heus := core.Registry()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -182,6 +374,7 @@ func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers i
 		err  error
 	}
 	results := make([]outcome, len(heus))
+	buffers := make([]*obs.Buffer, len(heus))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -195,6 +388,10 @@ func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers i
 					continue
 				}
 				h := heus[i]
+				if tracer != nil {
+					buffers[i] = &obs.Buffer{}
+					h = instrument(h, buffers[i])
+				}
 				g := h.Minimize(m, in.F, in.C)
 				if !in.Cover(m, g) {
 					results[i] = outcome{err: fmt.Errorf("BUG: %s returned a non-cover", h.Name())}
@@ -216,6 +413,9 @@ func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers i
 		if results[i].err != nil {
 			fmt.Fprintln(os.Stderr, results[i].err)
 			os.Exit(1)
+		}
+		if buffers[i] != nil {
+			buffers[i].ReplayTo(tracer)
 		}
 		fmt.Printf("  %-8s size %3d   %s\n", h.Name(), results[i].size, results[i].text)
 	}

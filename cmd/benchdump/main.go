@@ -11,10 +11,15 @@
 //     benchmarks, sequential and with the parallel worker pool, with
 //     NodesMade as the work measure.
 //
+// The sequential sweep runs with the observability tracer attached, and
+// its aggregated per-heuristic breakdown (applications, acceptances, wins,
+// nodes saved, cumulative time) lands in the report's "heuristics"
+// section (schema bddmin-bench-kernel/2).
+//
 // Usage:
 //
 //	benchdump [-o BENCH_kernel.json] [-workers N] [-bench tlc,tbk,...]
-//	          [-nosuite] [-q]
+//	          [-nosuite] [-q] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -30,6 +36,7 @@ import (
 	"bddmin/internal/bdd"
 	"bddmin/internal/circuits"
 	"bddmin/internal/harness"
+	"bddmin/internal/obs"
 )
 
 func main() {
@@ -39,8 +46,38 @@ func main() {
 		bench   = flag.String("bench", "tlc,minmax5,tbk,s386", "comma-separated suite benchmarks")
 		noSuite = flag.Bool("nosuite", false, "skip the suite-level runs (micros only)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	// Validate the suite selection up front so a typo fails fast instead of
 	// surfacing after the micros (or, with -nosuite, never at all).
@@ -78,9 +115,14 @@ func main() {
 	}
 
 	if !*noSuite {
+		// The sequential sweep carries the metrics tracer; its per-heuristic
+		// aggregation becomes the report's breakdown section. The parallel
+		// sweep runs untraced so the speedup measurement stays clean.
+		var metrics obs.Metrics
+		seqRC := harness.RunConfig{Collector: harness.Config{LowerBoundCubes: 100, Tracer: &metrics}}
 		rc := harness.RunConfig{Collector: harness.Config{LowerBoundCubes: 100}}
 		seq, err := timeSuite("suite/sequential", func() ([]harness.BenchmarkRun, error) {
-			_, runs, err := harness.RunSuite(names, rc)
+			_, runs, err := harness.RunSuite(names, seqRC)
 			return runs, err
 		})
 		if err != nil {
@@ -88,6 +130,7 @@ func main() {
 			os.Exit(1)
 		}
 		report.Benchmarks = append(report.Benchmarks, seq)
+		report.Heuristics = harness.HeuristicSummaries(&metrics)
 		progress("%-24s %12.1f ns/op (%.2fs)\n", seq.Name, seq.NsPerOp, seq.NsPerOp/1e9)
 		par, err := timeSuite(fmt.Sprintf("suite/parallel-%d", *workers), func() ([]harness.BenchmarkRun, error) {
 			_, runs, err := harness.RunSuiteParallel(names, rc, *workers)

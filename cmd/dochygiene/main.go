@@ -1,0 +1,144 @@
+// Command dochygiene enforces the repository's documentation invariants.
+// CI runs it on every push; it exits non-zero listing every violation.
+//
+// Checks:
+//
+//   - every relative markdown link in every tracked *.md file resolves to
+//     an existing file or directory (external URLs and pure #anchors are
+//     skipped, #fragment suffixes are stripped before resolving);
+//   - every package under internal/ and cmd/ has a package comment (a doc
+//     comment on the package clause in at least one non-test file).
+//
+// Usage:
+//
+//	dochygiene [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	checkLinks(*root, report)
+	checkPackageComments(*root, report)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "dochygiene: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("dochygiene: ok")
+}
+
+// checkLinks resolves every relative markdown link against the linking
+// file's directory.
+func checkLinks(root string, report func(string, ...any)) {
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		switch d.Name() {
+		// Source-material digests quoting other repositories; their links
+		// point into those repos, not this one.
+		case "SNIPPETS.md", "PAPERS.md", "PAPER.md", "ISSUE.md":
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, match := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := match[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" { // pure anchor
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				report("%s: broken link %q", path, match[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		report("walking %s: %v", root, err)
+	}
+}
+
+// checkPackageComments requires a doc comment on the package clause of at
+// least one non-test file in every Go package under internal/ and cmd/.
+func checkPackageComments(root string, report func(string, ...any)) {
+	for _, base := range []string{"internal", "cmd"} {
+		dir := filepath.Join(root, base)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			pkgDir := filepath.Join(dir, e.Name())
+			files, err := filepath.Glob(filepath.Join(pkgDir, "*.go"))
+			if err != nil || len(files) == 0 {
+				continue
+			}
+			documented := false
+			hasSource := false
+			fset := token.NewFileSet()
+			for _, f := range files {
+				if strings.HasSuffix(f, "_test.go") {
+					continue
+				}
+				hasSource = true
+				parsed, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+				if err != nil {
+					report("%s: %v", f, err)
+					continue
+				}
+				if parsed.Doc != nil && strings.TrimSpace(parsed.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if hasSource && !documented {
+				report("%s: package has no package comment", pkgDir)
+			}
+		}
+	}
+}

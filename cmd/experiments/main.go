@@ -10,11 +10,19 @@
 //
 //	experiments [-bench s344,tlc,...] [-table N] [-figure N] [-summary]
 //	            [-iters N] [-maxnodes N] [-lbcubes N] [-validate] [-o FILE]
-//	            [-workers N]
+//	            [-workers N] [-trace-dir DIR] [-cpuprofile FILE]
 //
 // With -workers > 1 (0 = GOMAXPROCS) the benchmarks run on a worker pool,
 // one BDD manager per worker; tables and records are identical to a
 // sequential run (only wall-clock changes).
+//
+// With -trace-dir the harness writes one structured JSONL trace file per
+// benchmark (<name>.trace.jsonl): the intercepted calls, every heuristic
+// application with its computed-cache snapshot, and per-benchmark GC
+// totals. Traces omit durations unless -trace-timings is set, so repeated
+// runs are byte-identical. In parallel runs each benchmark's file is
+// written by its own worker; file contents are per-benchmark, hence
+// deterministic regardless of worker count.
 //
 // With no selection flags, everything is produced.
 package main
@@ -24,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"bddmin/internal/circuits"
@@ -47,8 +57,40 @@ func main() {
 		outFile   = flag.String("o", "", "also write the report to this file")
 		csvFile   = flag.String("csv", "", "write raw per-call records to this CSV file")
 		quiet     = flag.Bool("q", false, "suppress per-benchmark progress")
+		traceDir  = flag.String("trace-dir", "", "write one JSONL trace file per benchmark into this directory")
+		traceTime = flag.Bool("trace-timings", false, "include nanosecond durations in trace files")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var out io.Writer = os.Stdout
 	var tee *os.File
@@ -92,11 +134,19 @@ func main() {
 	if *extended {
 		cfg.Heuristics = append(core.ExtendedRegistry(), core.FAndC(), core.FOrNC(), core.FOrig())
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	rc := harness.RunConfig{
 		Collector:     cfg,
 		MaxIterations: *iters,
 		MaxNodes:      *maxNodes,
 		Progress:      progress,
+		TraceDir:      *traceDir,
+		TraceTimings:  *traceTime,
 	}
 	var (
 		col  *harness.Collector

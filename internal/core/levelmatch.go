@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"bddmin/internal/bdd"
+	"bddmin/internal/obs"
 )
 
 // LevelPair is one incompletely specified subfunction [fj, cj] gathered by
@@ -121,7 +123,14 @@ func PairDistance(a, b LevelPair) uint64 {
 // minimum set of i-covers. The returned map sends every replaced pair's
 // ISF to its i-cover; unreplaced (sink) pairs are absent.
 func SolveOSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
+	repl, _ := solveOSMLevel(m, pairs)
+	return repl
+}
+
+// solveOSMLevel additionally reports the DMG's edge count for tracing.
+func solveOSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int) {
 	n := len(pairs)
+	edges := 0
 	match := make([][]bool, n)
 	for j := range match {
 		match[j] = make([]bool, n)
@@ -130,6 +139,7 @@ func SolveOSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
 		for k := 0; k < n; k++ {
 			if j != k && OSM.Matches(m, pairs[j].ISF, pairs[k].ISF) {
 				match[j][k] = true
+				edges++
 			}
 		}
 	}
@@ -178,7 +188,7 @@ func SolveOSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
 			repl[pairs[j].ISF] = pairs[s].ISF
 		}
 	}
-	return repl
+	return repl, edges
 }
 
 // SolveTSMLevel solves FMM for the TSM criterion heuristically via clique
@@ -190,12 +200,21 @@ func SolveOSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
 // matches of nearby functions. Each clique is folded into a single common
 // i-cover (Lemma 14 guarantees one exists).
 func SolveTSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
-	cliques := TSMCliqueCover(m, pairs, true)
+	repl, _, _ := solveTSMLevel(m, pairs)
+	return repl
+}
+
+// solveTSMLevel additionally reports the matching graph's edge count and
+// the number of non-singleton cliques folded, for tracing.
+func solveTSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int, int) {
+	cliques, edges := tsmCliqueCover(m, pairs, true)
+	folded := 0
 	repl := make(map[ISF]ISF)
 	for _, clique := range cliques {
 		if len(clique) < 2 {
 			continue
 		}
+		folded++
 		ic := pairs[clique[0]].ISF
 		for _, v := range clique[1:] {
 			ic = TSM.ICover(m, ic, pairs[v].ISF)
@@ -206,7 +225,7 @@ func SolveTSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
 			}
 		}
 	}
-	return repl
+	return repl, edges, folded
 }
 
 // TSMCliqueCover partitions the vertices of the undirected TSM matching
@@ -215,7 +234,15 @@ func SolveTSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
 // vertices and extensions in index order (the baseline the paper's
 // optimizations are measured against — see the ablation benchmarks).
 func TSMCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) [][]int {
+	cliques, _ := tsmCliqueCover(m, pairs, optimized)
+	return cliques
+}
+
+// tsmCliqueCover additionally reports the undirected edge count for
+// tracing.
+func tsmCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) ([][]int, int) {
 	n := len(pairs)
+	edges := 0
 	adj := make([]map[int]bool, n)
 	deg := make([]int, n)
 	for j := 0; j < n; j++ {
@@ -228,6 +255,7 @@ func TSMCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) [][]int {
 				adj[k][j] = true
 				deg[j]++
 				deg[k]++
+				edges++
 			}
 		}
 	}
@@ -309,7 +337,7 @@ func TSMCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) [][]int {
 		}
 		cliques = append(cliques, clique)
 	}
-	return cliques
+	return cliques, edges
 }
 
 // RebuildWithReplacements reconstructs [f, c] after level matching:
@@ -369,16 +397,38 @@ func (r *rebuilder) rebuild(in ISF) ISF {
 // grouped together". Batches are solved independently and the combined
 // replacement map is applied in a single rebuild.
 func MinimizeAtLevel(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int) (ISF, int) {
+	out, stats := MinimizeAtLevelStats(m, in, i, cr, limit)
+	return out, stats.Replaced
+}
+
+// LevelMatchStats describes one level-matching round for the tracing
+// layer: the matching graph built over the collected pairs (Section 3.3)
+// and how much of it was used. Cliques counts the non-singleton cliques of
+// the TSM cover and is zero for OSM, where the DMG is solved exactly.
+type LevelMatchStats struct {
+	Pairs, Edges, Cliques, Replaced int
+}
+
+// MinimizeAtLevelStats is MinimizeAtLevel with the matching-graph
+// statistics of the round. Batched runs (limit > 0) accumulate edge and
+// clique counts across batches.
+func MinimizeAtLevelStats(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int) (ISF, LevelMatchStats) {
 	pairs := CollectLevelPairs(m, in, i, 0)
+	stats := LevelMatchStats{Pairs: len(pairs)}
 	if len(pairs) < 2 {
-		return in, 0
+		return in, stats
 	}
 	solve := func(batch []LevelPair) map[ISF]ISF {
 		switch cr {
 		case OSM:
-			return SolveOSMLevel(m, batch)
+			repl, edges := solveOSMLevel(m, batch)
+			stats.Edges += edges
+			return repl
 		case TSM:
-			return SolveTSMLevel(m, batch)
+			repl, edges, cliques := solveTSMLevel(m, batch)
+			stats.Edges += edges
+			stats.Cliques += cliques
+			return repl
 		}
 		panic("core: level matching supports OSM and TSM")
 	}
@@ -396,10 +446,11 @@ func MinimizeAtLevel(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int)
 			}
 		}
 	}
+	stats.Replaced = len(repl)
 	if len(repl) == 0 {
-		return in, 0
+		return in, stats
 	}
-	return RebuildWithReplacements(m, in, i, repl), len(repl)
+	return RebuildWithReplacements(m, in, i, repl), stats
 }
 
 // OptLv is the level-matching heuristic evaluated in the paper ("opt_lv"):
@@ -414,6 +465,8 @@ type OptLv struct {
 	Limit int
 	// UseOSM selects the OSM matching criterion instead of TSM.
 	UseOSM bool
+	// Trace, when non-nil, receives one obs.LevelMatchEvent per level.
+	Trace obs.Tracer
 }
 
 // Name returns "opt_lv" (TSM) or "opt_lv_osm".
@@ -438,7 +491,18 @@ func (o *OptLv) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 		if cur.C == bdd.One || cur.F.IsConst() {
 			break
 		}
-		cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit)
+		if o.Trace == nil {
+			cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit)
+			continue
+		}
+		start := time.Now()
+		var stats LevelMatchStats
+		cur, stats = MinimizeAtLevelStats(m, cur, bdd.Var(i), cr, o.Limit)
+		o.Trace.Emit(obs.LevelMatchEvent{
+			Level: i, Criterion: cr.String(),
+			Pairs: stats.Pairs, Edges: stats.Edges, Cliques: stats.Cliques,
+			Replaced: stats.Replaced, Duration: time.Since(start),
+		})
 	}
 	return cur.F
 }

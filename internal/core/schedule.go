@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"bddmin/internal/bdd"
+	"bddmin/internal/obs"
 )
 
 // Scheduler composes the basic transformations per Section 3.4 of the
@@ -35,6 +37,12 @@ type Scheduler struct {
 	// LevelLimit bounds the collected set size per level match
 	// (0 = unlimited).
 	LevelLimit int
+	// Trace, when non-nil, receives the schedule's event stream: one
+	// obs.WindowEvent pair per window, one obs.HeuristicEvent per sibling
+	// step ("sib_osm", "sib_tsm") and for the final constrain
+	// ("final_const"), and one obs.LevelMatchEvent per level-match round.
+	// The nil default keeps the schedule free of timing and size calls.
+	Trace obs.Tracer
 }
 
 // Name identifies the scheduler in result tables; it encodes the
@@ -62,6 +70,49 @@ func (s *Scheduler) stop() int {
 	return s.StopTopDown
 }
 
+// sibStep runs one windowed sibling-matching step, traced when enabled.
+func (s *Scheduler) sibStep(m *bdd.Manager, cur ISF, cr Criterion, nnv bool, lo, hi int) ISF {
+	if s.Trace == nil {
+		return MatchSiblingsWindow(m, cr, false, nnv, cur, bdd.Var(lo), bdd.Var(hi))
+	}
+	inSize := m.Size(cur.F)
+	start := time.Now()
+	out, matches := matchSiblingsWindow(m, cr, false, nnv, cur, bdd.Var(lo), bdd.Var(hi))
+	outSize := m.Size(out.F)
+	s.Trace.Emit(obs.HeuristicEvent{
+		Name: "sib_" + cr.String(), Criterion: cr.String(),
+		InSize: inSize, OutSize: outSize, Matches: matches,
+		Accepted: outSize <= inSize, Duration: time.Since(start),
+	})
+	return out
+}
+
+// lvStep runs one level-matching round, traced when enabled.
+func (s *Scheduler) lvStep(m *bdd.Manager, cur ISF, cr Criterion, i int) ISF {
+	if s.Trace == nil {
+		out, _ := MinimizeAtLevel(m, cur, bdd.Var(i), cr, s.LevelLimit)
+		return out
+	}
+	start := time.Now()
+	out, stats := MinimizeAtLevelStats(m, cur, bdd.Var(i), cr, s.LevelLimit)
+	s.Trace.Emit(obs.LevelMatchEvent{
+		Level: i, Criterion: cr.String(),
+		Pairs: stats.Pairs, Edges: stats.Edges, Cliques: stats.Cliques,
+		Replaced: stats.Replaced, Duration: time.Since(start),
+	})
+	return out
+}
+
+func (s *Scheduler) emitWindow(m *bdd.Manager, phase string, lo, hi int, cur ISF) {
+	if s.Trace == nil {
+		return
+	}
+	s.Trace.Emit(obs.WindowEvent{
+		Phase: phase, Lo: lo, Hi: hi,
+		FSize: m.Size(cur.F), CSize: m.Size(cur.C),
+	})
+}
+
 // Minimize runs the schedule and returns a cover of [f, c].
 func (s *Scheduler) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 	if c == bdd.Zero {
@@ -82,17 +133,20 @@ func (s *Scheduler) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 		if hi >= n {
 			hi = n - 1
 		}
-		cur = MatchSiblingsWindow(m, OSM, false, true, cur, bdd.Var(lo), bdd.Var(hi))
-		cur = MatchSiblingsWindow(m, TSM, false, false, cur, bdd.Var(lo), bdd.Var(hi))
+		s.emitWindow(m, "open", lo, hi, cur)
+		cur = s.sibStep(m, cur, OSM, true, lo, hi)
+		cur = s.sibStep(m, cur, TSM, false, lo, hi)
 		if !s.SkipLevelMatching {
 			for i := lo; i <= hi && i < n; i++ {
 				if cur.C == bdd.One || cur.F.IsConst() {
+					s.emitWindow(m, "close", lo, hi, cur)
 					return cur.F
 				}
-				cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), OSM, s.LevelLimit)
-				cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), TSM, s.LevelLimit)
+				cur = s.lvStep(m, cur, OSM, i)
+				cur = s.lvStep(m, cur, TSM, i)
 			}
 		}
+		s.emitWindow(m, "close", lo, hi, cur)
 	}
 	if cur.C == bdd.One || cur.F.IsConst() {
 		return cur.F
@@ -100,5 +154,17 @@ func (s *Scheduler) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 	if cur.C == bdd.Zero {
 		return cur.F
 	}
-	return m.Constrain(cur.F, cur.C)
+	if s.Trace == nil {
+		return m.Constrain(cur.F, cur.C)
+	}
+	inSize := m.Size(cur.F)
+	start := time.Now()
+	g := m.Constrain(cur.F, cur.C)
+	outSize := m.Size(g)
+	s.Trace.Emit(obs.HeuristicEvent{
+		Name: "final_const", Criterion: OSDM.String(),
+		InSize: inSize, OutSize: outSize,
+		Accepted: outSize <= inSize, Duration: time.Since(start),
+	})
+	return g
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"bddmin/internal/bdd"
+	"bddmin/internal/obs"
 )
 
 // SiblingHeuristic is the generic top-down sibling-matching minimizer of
@@ -15,7 +17,11 @@ type SiblingHeuristic struct {
 	Criterion  Criterion
 	MatchCompl bool // additionally try matching one sibling to the other's complement
 	NoNewVars  bool // never introduce a variable of c that f does not depend on
-	name       string
+	// Trace, when non-nil, receives one obs.HeuristicEvent per Minimize
+	// call (input/output sizes, sibling matches applied, duration). The
+	// nil default keeps the traversal free of timing calls.
+	Trace obs.Tracer
+	name  string
 }
 
 // NewSiblingHeuristic constructs the sibling matcher with the given
@@ -74,7 +80,18 @@ func (h *SiblingHeuristic) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 		memo:   make(map[ISF]bdd.Ref),
 		window: fullWindow,
 	}
-	return t.run(f, c)
+	if h.Trace == nil {
+		return t.run(f, c)
+	}
+	start := time.Now()
+	g := t.run(f, c)
+	in, out := m.Size(f), m.Size(g)
+	h.Trace.Emit(obs.HeuristicEvent{
+		Name: h.name, Criterion: h.Criterion.String(),
+		InSize: in, OutSize: out, Matches: t.matches,
+		Accepted: out <= in, Duration: time.Since(start),
+	})
+	return g
 }
 
 // window restricts at which levels sibling matches may be made; the
@@ -92,12 +109,13 @@ func (w window) contains(level int32) bool { return level >= w.lo && level <= w.
 // independent (the manager-level ITE cache is flushed by the harness
 // between heuristics).
 type tdTraversal struct {
-	m      *bdd.Manager
-	crit   Criterion
-	compl  bool
-	nnv    bool
-	memo   map[ISF]bdd.Ref
-	window window
+	m       *bdd.Manager
+	crit    Criterion
+	compl   bool
+	nnv     bool
+	memo    map[ISF]bdd.Ref
+	window  window
+	matches int
 }
 
 // run is generic_td of Figure 2. Invariant: c is never Zero.
@@ -130,12 +148,14 @@ func (t *tdTraversal) run(f, c bdd.Ref) bdd.Ref {
 		if ic, ok := matchSiblings(m, t.crit, false, tp, ep); ok && t.window.contains(top) {
 			// Both children are replaced by the common i-cover; the
 			// parent node disappears.
+			t.matches++
 			ret = t.runISF(ic)
 		} else if t.compl && t.window.contains(top) {
 			if ic, ok := matchSiblings(m, t.crit, true, tp, ep); ok {
 				// A cover h of ic covers [fT,cT] and the complement of
 				// [fE,cE]: the parent survives as ite(x, h, ¬h), costing
 				// one node but only one recursion.
+				t.matches++
 				temp := t.runISF(ic)
 				ret = m.MkNode(bdd.Var(top), temp, temp.Not())
 			} else {

@@ -13,6 +13,14 @@ import "bddmin/internal/bdd"
 // transformations are applied first and the remaining freedom is handed to
 // the next transformation, rather than being consumed greedily.
 func MatchSiblingsWindow(m *bdd.Manager, cr Criterion, compl, nnv bool, in ISF, lo, hi bdd.Var) ISF {
+	out, _ := matchSiblingsWindow(m, cr, compl, nnv, in, lo, hi)
+	return out
+}
+
+// matchSiblingsWindow additionally reports how many sibling matches were
+// applied (plain and complement), the per-step work measure the scheduler
+// traces.
+func matchSiblingsWindow(m *bdd.Manager, cr Criterion, compl, nnv bool, in ISF, lo, hi bdd.Var) (ISF, int) {
 	t := &windowTraversal{
 		m:     m,
 		crit:  cr,
@@ -21,16 +29,17 @@ func MatchSiblingsWindow(m *bdd.Manager, cr Criterion, compl, nnv bool, in ISF, 
 		memo:  make(map[ISF]ISF),
 		win:   window{lo: int32(lo), hi: int32(hi)},
 	}
-	return t.run(in)
+	return t.run(in), t.matches
 }
 
 type windowTraversal struct {
-	m     *bdd.Manager
-	crit  Criterion
-	compl bool
-	nnv   bool
-	memo  map[ISF]ISF
-	win   window
+	m       *bdd.Manager
+	crit    Criterion
+	compl   bool
+	nnv     bool
+	memo    map[ISF]ISF
+	win     window
+	matches int
 }
 
 func (t *windowTraversal) run(in ISF) ISF {
@@ -71,8 +80,10 @@ func (t *windowTraversal) run(in ISF) ISF {
 			}
 			switch {
 			case ok && !complMatch:
+				t.matches++
 				ret = t.run(ic)
 			case ok && complMatch:
+				t.matches++
 				h := t.run(ic)
 				// gT must cover h's ISF, gE its complement; the care
 				// function is independent of the branching variable.

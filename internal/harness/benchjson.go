@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"bddmin/internal/obs"
 )
 
 // KernelBench is one benchmark measurement destined for BENCH_kernel.json:
@@ -20,19 +22,51 @@ type KernelBench struct {
 	NodesMade   uint64  `json:"nodes_made,omitempty"`
 }
 
+// HeuristicSummary is the per-heuristic breakdown of one suite sweep,
+// aggregated from the pipeline's obs.HeuristicEvent stream: how often
+// each heuristic ran across the instrumented calls, how often its result
+// would be kept (accepted: never larger than |f|), how often it strictly
+// improved, the nodes it saved in total, and its cumulative runtime.
+type HeuristicSummary struct {
+	Name         string  `json:"name"`
+	Applications int     `json:"applications"`
+	Accepted     int     `json:"accepted"`
+	Wins         int     `json:"wins"`
+	NodesSaved   int64   `json:"nodes_saved"`
+	TotalNs      float64 `json:"total_ns"`
+}
+
+// HeuristicSummaries converts the metrics sink's table into report rows.
+func HeuristicSummaries(mt *obs.Metrics) []HeuristicSummary {
+	var out []HeuristicSummary
+	for _, h := range mt.Table() {
+		out = append(out, HeuristicSummary{
+			Name:         h.Name,
+			Applications: h.Applications,
+			Accepted:     h.Accepted,
+			Wins:         h.Wins,
+			NodesSaved:   h.NodesSaved,
+			TotalNs:      float64(h.Time.Nanoseconds()),
+		})
+	}
+	return out
+}
+
 // BenchReport is the top-level BENCH_kernel.json document. Successive PRs
 // append comparable reports, so the schema carries enough environment to
-// interpret the numbers (worker count, GOMAXPROCS, timestamp).
+// interpret the numbers (worker count, GOMAXPROCS, timestamp). Schema /2
+// added the per-heuristic breakdown of the sequential suite sweep.
 type BenchReport struct {
-	Schema     string        `json:"schema"` // "bddmin-bench-kernel/1"
-	Timestamp  time.Time     `json:"timestamp"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Workers    int           `json:"workers"`
-	Benchmarks []KernelBench `json:"benchmarks"`
+	Schema     string             `json:"schema"` // "bddmin-bench-kernel/2"
+	Timestamp  time.Time          `json:"timestamp"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Benchmarks []KernelBench      `json:"benchmarks"`
+	Heuristics []HeuristicSummary `json:"heuristics,omitempty"`
 }
 
 // BenchReportSchema identifies the BENCH_kernel.json layout version.
-const BenchReportSchema = "bddmin-bench-kernel/1"
+const BenchReportSchema = "bddmin-bench-kernel/2"
 
 // WriteBenchJSON emits the report as indented JSON.
 func WriteBenchJSON(w io.Writer, r BenchReport) error {

@@ -21,7 +21,19 @@ import (
 	"bddmin/internal/bdd"
 	"bddmin/internal/core"
 	"bddmin/internal/fsm"
+	"bddmin/internal/obs"
 )
+
+// cacheSnapshot converts the manager's per-op computed-cache counters
+// since the last flush into a trace event.
+func cacheSnapshot(m *bdd.Manager, benchmark string, call int, scope string) obs.CacheEvent {
+	stats := m.CacheStatsByOp()
+	ops := make([]obs.CacheOpStats, len(stats))
+	for i, s := range stats {
+		ops[i] = obs.CacheOpStats{Op: s.Op, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions}
+	}
+	return obs.CacheEvent{Benchmark: benchmark, Call: call, Scope: scope, Ops: ops}
+}
 
 // HeurResult is one heuristic's outcome on one call.
 type HeurResult struct {
@@ -70,6 +82,13 @@ type Config struct {
 	MaxCallSize int
 	// Validate re-checks every result against the cover definition.
 	Validate bool
+	// Tracer, when non-nil, receives the pipeline event stream: one
+	// obs.CallEvent per intercepted instance, one obs.HeuristicEvent plus
+	// one computed-cache snapshot per heuristic run, and per-benchmark
+	// bracketing/GC events from the runner. Tracers follow the manager's
+	// concurrency model (single-goroutine); the parallel runner gives
+	// each worker a private obs.Buffer and merges deterministically.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +125,13 @@ func (c *Collector) SetBenchmark(name string) {
 	c.benchmark = name
 	c.iteration = 0
 }
+
+// Tracer returns the collector's event sink (nil when tracing is off).
+func (c *Collector) Tracer() obs.Tracer { return c.cfg.Tracer }
+
+// SetTracer swaps the collector's event sink; the runner uses this to
+// stack per-benchmark trace files on top of the configured tracer.
+func (c *Collector) SetTracer(tr obs.Tracer) { c.cfg.Tracer = tr }
 
 // HeuristicNames lists the configured heuristics in run order.
 func (c *Collector) HeuristicNames() []string {
@@ -160,6 +186,13 @@ func (c *Collector) record(m *bdd.Manager, f, cc bdd.Ref) {
 		Results:   make(map[string]HeurResult, len(c.cfg.Heuristics)),
 		MinSize:   1 << 30,
 	}
+	tr := c.cfg.Tracer
+	if tr != nil {
+		tr.Emit(obs.CallEvent{
+			Benchmark: c.benchmark, Call: c.iteration,
+			COnsetPct: rec.COnsetPct, FSize: fSize,
+		})
+	}
 	for _, h := range c.cfg.Heuristics {
 		// Flush the shared computed caches so each heuristic is measured
 		// cold, as the paper does by invoking the garbage collector.
@@ -175,6 +208,17 @@ func (c *Collector) record(m *bdd.Manager, f, cc bdd.Ref) {
 		rec.Results[h.Name()] = HeurResult{Size: size, Runtime: elapsed}
 		if size < rec.MinSize {
 			rec.MinSize = size
+		}
+		if tr != nil {
+			tr.Emit(obs.HeuristicEvent{
+				Name: h.Name(), Criterion: core.CriterionName(h.Name()),
+				Benchmark: c.benchmark, Call: c.iteration,
+				InSize: fSize, OutSize: size,
+				Accepted: size <= fSize, Duration: elapsed,
+			})
+			// The caches were flushed just before this heuristic, so the
+			// snapshot isolates its cache behavior.
+			tr.Emit(cacheSnapshot(m, c.benchmark, c.iteration, h.Name()))
 		}
 	}
 	m.FlushCaches()

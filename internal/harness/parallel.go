@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bddmin/internal/circuits"
+	"bddmin/internal/obs"
 )
 
 // RunSuiteParallel runs every named benchmark (nil = the full paper suite)
@@ -24,6 +25,13 @@ import (
 // produce them (per-call runtimes differ, sizes and bounds do not — see
 // TestParallelMatchesSequential). workers <= 0 selects GOMAXPROCS; one
 // worker degenerates to a sequential run.
+//
+// Tracing follows the same discipline: a configured rc.Collector.Tracer
+// is never written concurrently. Each worker records its benchmark's
+// events into a private obs.Buffer, and after all workers finish the
+// buffers are replayed into the tracer in request order, so the merged
+// stream is byte-identical to a sequential run's (modulo durations; see
+// TestParallelTraceMergeDeterministic).
 func RunSuiteParallel(names []string, rc RunConfig, workers int) (*Collector, []BenchmarkRun, error) {
 	if names == nil {
 		names = circuits.Names()
@@ -49,19 +57,26 @@ func RunSuiteParallel(names []string, rc RunConfig, workers int) (*Collector, []
 	}
 
 	var (
-		cols  = make([]*Collector, len(infos))
-		runs  = make([]BenchmarkRun, len(infos))
-		errs  = make([]error, len(infos))
-		jobs  = make(chan int)
-		wg    sync.WaitGroup
-		outMu sync.Mutex // serializes Progress lines only
+		cols    = make([]*Collector, len(infos))
+		runs    = make([]BenchmarkRun, len(infos))
+		errs    = make([]error, len(infos))
+		buffers = make([]*obs.Buffer, len(infos))
+		jobs    = make(chan int)
+		wg      sync.WaitGroup
+		outMu   sync.Mutex // serializes Progress lines only
 	)
+	mergedTracer := rc.Collector.Tracer
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				col := NewCollector(rc.Collector)
+				cfg := rc.Collector
+				if mergedTracer != nil {
+					buffers[i] = &obs.Buffer{}
+					cfg.Tracer = buffers[i]
+				}
+				col := NewCollector(cfg)
 				run, err := RunBenchmark(infos[i], col, rc)
 				cols[i], runs[i], errs[i] = col, run, err
 				if rc.Progress != nil {
@@ -90,10 +105,13 @@ func RunSuiteParallel(names []string, rc RunConfig, workers int) (*Collector, []
 		}
 	}
 	merged := NewCollector(rc.Collector)
-	for _, col := range cols {
+	for i, col := range cols {
 		merged.Records = append(merged.Records, col.Records...)
 		merged.FilteredTrivial += col.FilteredTrivial
 		merged.FilteredSize += col.FilteredSize
+		if buffers[i] != nil {
+			buffers[i].ReplayTo(mergedTracer)
+		}
 	}
 	return merged, runs, nil
 }

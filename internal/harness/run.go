@@ -1,12 +1,16 @@
 package harness
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/circuits"
 	"bddmin/internal/fsm"
+	"bddmin/internal/obs"
 )
 
 // RunConfig tunes a suite run.
@@ -22,6 +26,13 @@ type RunConfig struct {
 	GCEvery int
 	// Progress, when non-nil, receives one line per benchmark.
 	Progress io.Writer
+	// TraceDir, when non-empty, writes one structured JSONL trace file
+	// per benchmark, named <benchmark>.trace.jsonl, in addition to any
+	// Collector.Tracer. The directory must exist.
+	TraceDir string
+	// TraceTimings includes nanosecond durations in TraceDir files.
+	// Off by default so traces of deterministic runs are byte-identical.
+	TraceTimings bool
 }
 
 func (rc RunConfig) withDefaults() RunConfig {
@@ -48,9 +59,25 @@ type BenchmarkRun struct {
 }
 
 // RunBenchmark checks one suite machine against itself with the collector
-// installed and returns the traversal result.
+// installed and returns the traversal result. With rc.TraceDir set the
+// benchmark's event stream is additionally written to its own
+// <name>.trace.jsonl file, on top of any configured tracer.
 func RunBenchmark(info circuits.BenchmarkInfo, col *Collector, rc RunConfig) (BenchmarkRun, error) {
 	rc = rc.withDefaults()
+	if rc.TraceDir != "" {
+		f, err := os.Create(filepath.Join(rc.TraceDir, info.Name+".trace.jsonl"))
+		if err != nil {
+			return BenchmarkRun{}, fmt.Errorf("harness: %s: %w", info.Name, err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		sink := obs.NewJSONL(bw)
+		sink.Timings = rc.TraceTimings
+		prev := col.Tracer()
+		col.SetTracer(obs.Multi(prev, sink))
+		defer col.SetTracer(prev)
+	}
 	m := bdd.New(0)
 	net := info.Build()
 	p, err := fsm.NewProduct(m, net, net)
@@ -58,6 +85,10 @@ func RunBenchmark(info circuits.BenchmarkInfo, col *Collector, rc RunConfig) (Be
 		return BenchmarkRun{}, fmt.Errorf("harness: %s: %w", info.Name, err)
 	}
 	col.SetBenchmark(info.Name)
+	tr := col.Tracer()
+	if tr != nil {
+		tr.Emit(obs.BenchmarkEvent{Name: info.Name, Phase: "start"})
+	}
 	before := len(col.Records)
 	res := p.CheckEquivalence(fsm.Options{
 		Minimize:      col.Hook(),
@@ -69,6 +100,10 @@ func RunBenchmark(info circuits.BenchmarkInfo, col *Collector, rc RunConfig) (Be
 	})
 	if !res.Equal {
 		return BenchmarkRun{}, fmt.Errorf("harness: %s: self-equivalence failed (instrumentation bug)", info.Name)
+	}
+	if tr != nil {
+		tr.Emit(obs.GCEvent{Benchmark: info.Name, Live: m.NumNodes(), Runs: m.GCRuns(), NodesMade: m.NodesMade()})
+		tr.Emit(obs.BenchmarkEvent{Name: info.Name, Phase: "end"})
 	}
 	return BenchmarkRun{Name: info.Name, Result: res, Calls: len(col.Records) - before, NodesMade: m.NodesMade()}, nil
 }

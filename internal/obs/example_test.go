@@ -1,0 +1,29 @@
+package obs_test
+
+import (
+	"os"
+
+	"bddmin/internal/obs"
+)
+
+// A Tracer is any sink for pipeline events; Multi composes them. Here one
+// event stream feeds both a JSONL trace (machine-readable, deterministic
+// with timings off) and the aggregated per-heuristic metrics table.
+func ExampleTracer() {
+	jsonl := obs.NewJSONL(os.Stdout)
+	var metrics obs.Metrics
+	tr := obs.Multi(jsonl, &metrics)
+
+	tr.Emit(obs.WindowEvent{Phase: "open", Lo: 0, Hi: 3, FSize: 12, CSize: 5})
+	tr.Emit(obs.HeuristicEvent{Name: "sib_osm", Criterion: "osm", InSize: 12, OutSize: 8, Matches: 2, Accepted: true})
+	tr.Emit(obs.WindowEvent{Phase: "close", Lo: 0, Hi: 3, FSize: 8, CSize: 5})
+
+	metrics.Format(os.Stdout)
+	// Output:
+	// {"ev":"window","phase":"open","lo":0,"hi":3,"f_size":12,"c_size":5}
+	// {"ev":"heuristic","name":"sib_osm","criterion":"osm","in_size":12,"out_size":8,"matches":2,"accepted":true}
+	// {"ev":"window","phase":"close","lo":0,"hi":3,"f_size":8,"c_size":5}
+	// heuristic      apps    acc   wins  nodes-saved         time
+	// sib_osm           1      1      1            4           0s
+	// windows: 1, level-match rounds: 0
+}

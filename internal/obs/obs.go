@@ -1,0 +1,199 @@
+// Package obs is the observability layer of the minimization pipeline:
+// structured tracing and metrics for the scheduler, the heuristics, the
+// level matcher and the experiment harness, built on the standard library
+// only.
+//
+// The design center is the paper's own evaluation methodology: Table 2 and
+// Figure 3 are built from per-call evidence of *which* transformation
+// (constrain, restrict, the osm/tsm sibling matchers, opt_lv) earned each
+// node reduction. A Tracer receives that evidence as typed events —
+// schedule windows opening and closing, heuristics applied with input and
+// output node counts, level-match graphs with their pair/edge/clique
+// counts, cache and GC snapshots — and concrete sinks turn the stream into
+// a structured JSONL trace (JSONL), an aggregated per-heuristic metrics
+// table (Metrics), or live progress lines (Progress).
+//
+// Tracing is strictly opt-in: every instrumented code path guards on a nil
+// Tracer, so the default path performs no event construction, no timing
+// syscalls and no allocations. Events are emitted by value; sinks must not
+// retain the slices inside an event beyond the Emit call unless they copy
+// them (Buffer copies).
+package obs
+
+import "time"
+
+// Event is one observation from the minimization pipeline. The concrete
+// types below are the full set; Kind returns the stable identifier used as
+// the "ev" discriminator in JSONL traces (see docs/ARCHITECTURE.md for the
+// wire schema).
+type Event interface {
+	Kind() string
+}
+
+// Tracer receives pipeline events. Implementations are single-goroutine,
+// matching the bdd.Manager concurrency model: one tracer per manager, with
+// cross-goroutine merging done by buffering (see Buffer and the parallel
+// harness).
+type Tracer interface {
+	Emit(Event)
+}
+
+// WindowEvent reports the scheduler opening or closing one window of
+// levels (Section 3.4). FSize and CSize are the node counts of the current
+// i-cover [f, c] at that boundary; for a close event the difference
+// against the matching open event is the window's total yield.
+type WindowEvent struct {
+	Phase  string // "open" or "close"
+	Lo, Hi int    // level range of the window, inclusive
+	FSize  int    // nodes in the function part
+	CSize  int    // nodes in the care part
+}
+
+// Kind implements Event.
+func (WindowEvent) Kind() string { return "window" }
+
+// HeuristicEvent reports one application of a minimization transformation:
+// a full heuristic run (a core.Minimizer, possibly wrapped by core.Traced
+// or timed by the harness) or one scheduler step (sibling matching inside
+// a window). Accepted records whether the result would be kept under the
+// paper's never-increase safeguard (OutSize ≤ InSize); NodesSaved in the
+// metrics table is InSize − OutSize summed where positive.
+type HeuristicEvent struct {
+	Name      string // heuristic or step name, e.g. "osm_bt", "sib_tsm"
+	Criterion string // matching criterion: "osdm", "osm", "tsm" ("" if mixed)
+	Benchmark string // harness benchmark name ("" outside the harness)
+	Call      int    // harness call sequence number (0 outside the harness)
+	InSize    int    // |f| before
+	OutSize   int    // |g| after
+	Matches   int    // sibling/level matches applied (0 when unknown)
+	Accepted  bool   // OutSize ≤ InSize
+	Duration  time.Duration
+}
+
+// Kind implements Event.
+func (HeuristicEvent) Kind() string { return "heuristic" }
+
+// LevelMatchEvent reports one round of level matching (Section 3.3): the
+// directed (OSM) or undirected (TSM) matching graph built over the
+// functions cut at Level, and how much of it was used. Cliques is zero for
+// OSM, where the exact DMG solution replaces clique covering.
+type LevelMatchEvent struct {
+	Level     int
+	Criterion string // "osm" or "tsm"
+	Pairs     int    // vertices: collected [f_j, c_j] pairs
+	Edges     int    // matching-graph edges
+	Cliques   int    // cliques in the TSM cover (0 for OSM)
+	Replaced  int    // pairs replaced by an i-cover
+	Duration  time.Duration
+}
+
+// Kind implements Event.
+func (LevelMatchEvent) Kind() string { return "levelmatch" }
+
+// CacheOpStats mirrors bdd.CacheOpStats: one operation's computed-cache
+// counters. Redeclared here so the event schema is self-contained.
+type CacheOpStats struct {
+	Op                      string
+	Hits, Misses, Evictions uint64
+}
+
+// CacheEvent snapshots the computed-cache counters since the last flush,
+// typically per heuristic run (the harness flushes between heuristics, so
+// the snapshot isolates one heuristic's cache behavior).
+type CacheEvent struct {
+	Benchmark string
+	Call      int
+	Scope     string // what the snapshot covers, e.g. a heuristic name
+	Ops       []CacheOpStats
+}
+
+// Kind implements Event.
+func (CacheEvent) Kind() string { return "cache" }
+
+// GCEvent snapshots the manager's node accounting: live nodes, cumulative
+// GC runs and cumulative nodes made. The harness emits one per benchmark.
+type GCEvent struct {
+	Benchmark string
+	Live      int
+	Runs      int
+	NodesMade uint64
+}
+
+// Kind implements Event.
+func (GCEvent) Kind() string { return "gc" }
+
+// BenchmarkEvent brackets one harness benchmark run ("start"/"end").
+type BenchmarkEvent struct {
+	Name  string
+	Phase string // "start" or "end"
+}
+
+// Kind implements Event.
+func (BenchmarkEvent) Kind() string { return "benchmark" }
+
+// CallEvent reports one intercepted minimization instance in the harness,
+// before its heuristic events. COnsetPct is the paper's c_onset_size.
+type CallEvent struct {
+	Benchmark string
+	Call      int
+	COnsetPct float64
+	FSize     int
+}
+
+// Kind implements Event.
+func (CallEvent) Kind() string { return "call" }
+
+// Multi fans events out to every non-nil tracer, in order. It returns nil
+// when no tracer remains, preserving the "nil means disabled" convention
+// at the call sites.
+func Multi(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (mt multiTracer) Emit(ev Event) {
+	for _, t := range mt {
+		t.Emit(ev)
+	}
+}
+
+// Buffer records events in order for later replay. The parallel harness
+// gives each worker its own Buffer and replays them in request order, so a
+// merged trace is deterministic regardless of scheduling.
+type Buffer struct {
+	Events []Event
+}
+
+// Emit implements Tracer. Slice-carrying events are deep-copied so the
+// buffer stays valid after the emitter reuses its scratch space.
+func (b *Buffer) Emit(ev Event) {
+	if ce, ok := ev.(CacheEvent); ok {
+		ce.Ops = append([]CacheOpStats(nil), ce.Ops...)
+		ev = ce
+	}
+	b.Events = append(b.Events, ev)
+}
+
+// ReplayTo re-emits the buffered events, in order, into t. A nil t is a
+// no-op.
+func (b *Buffer) ReplayTo(t Tracer) {
+	if t == nil {
+		return
+	}
+	for _, ev := range b.Events {
+		t.Emit(ev)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) should be nil")
+	}
+	b := &Buffer{}
+	if got := Multi(nil, b, nil); got != Tracer(b) {
+		t.Fatal("Multi with one live tracer should return it unwrapped")
+	}
+	b2 := &Buffer{}
+	m := Multi(b, b2)
+	m.Emit(WindowEvent{Phase: "open"})
+	if len(b.Events) != 1 || len(b2.Events) != 1 {
+		t.Fatalf("fan-out failed: %d / %d events", len(b.Events), len(b2.Events))
+	}
+}
+
+func TestBufferCopiesCacheOps(t *testing.T) {
+	ops := []CacheOpStats{{Op: "ite", Hits: 1}}
+	b := &Buffer{}
+	b.Emit(CacheEvent{Scope: "x", Ops: ops})
+	ops[0].Hits = 99
+	got := b.Events[0].(CacheEvent)
+	if got.Ops[0].Hits != 1 {
+		t.Fatal("Buffer must deep-copy CacheEvent.Ops")
+	}
+}
+
+func TestBufferReplayOrder(t *testing.T) {
+	b := &Buffer{}
+	b.Emit(BenchmarkEvent{Name: "a", Phase: "start"})
+	b.Emit(BenchmarkEvent{Name: "a", Phase: "end"})
+	var sink Buffer
+	b.ReplayTo(&sink)
+	if len(sink.Events) != 2 || sink.Events[0].(BenchmarkEvent).Phase != "start" {
+		t.Fatalf("replay broke ordering: %+v", sink.Events)
+	}
+	b.ReplayTo(nil) // must not panic
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	var m Metrics
+	m.Emit(HeuristicEvent{Name: "osm_bt", InSize: 10, OutSize: 7, Accepted: true, Duration: time.Millisecond})
+	m.Emit(HeuristicEvent{Name: "osm_bt", InSize: 5, OutSize: 5, Accepted: true})
+	m.Emit(HeuristicEvent{Name: "const", InSize: 5, OutSize: 8})
+	m.Emit(WindowEvent{Phase: "open"})
+	m.Emit(WindowEvent{Phase: "close"})
+	m.Emit(LevelMatchEvent{Level: 1})
+	m.Emit(CacheEvent{Ops: []CacheOpStats{{Op: "ite", Hits: 3, Misses: 1}}})
+
+	table := m.Table()
+	if len(table) != 2 || table[0].Name != "osm_bt" || table[1].Name != "const" {
+		t.Fatalf("table order wrong: %+v", table)
+	}
+	bt := table[0]
+	if bt.Applications != 2 || bt.Accepted != 2 || bt.Wins != 1 || bt.NodesSaved != 3 || bt.Time != time.Millisecond {
+		t.Fatalf("osm_bt metrics wrong: %+v", bt)
+	}
+	c := table[1]
+	if c.Applications != 1 || c.Accepted != 0 || c.Wins != 0 || c.NodesSaved != 0 {
+		t.Fatalf("const metrics wrong: %+v", c)
+	}
+	if m.Windows != 1 || m.LevelMatches != 1 || m.CacheHits != 3 || m.CacheMisses != 1 {
+		t.Fatalf("totals wrong: %+v", m)
+	}
+
+	var buf bytes.Buffer
+	m.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"osm_bt", "const", "nodes-saved", "windows: 1", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every event kind must serialize to one valid JSON object per line with
+// the "ev" discriminator, and omit "ns" unless Timings is set.
+func TestJSONLAllEventKinds(t *testing.T) {
+	events := []Event{
+		WindowEvent{Phase: "open", Lo: 0, Hi: 3, FSize: 10, CSize: 4},
+		HeuristicEvent{Name: "osm_bt", Criterion: "osm", InSize: 10, OutSize: 7, Matches: 2, Accepted: true, Duration: time.Millisecond},
+		LevelMatchEvent{Level: 2, Criterion: "tsm", Pairs: 5, Edges: 4, Cliques: 2, Replaced: 3, Duration: time.Millisecond},
+		CacheEvent{Scope: "osm_bt", Ops: []CacheOpStats{{Op: "ite", Hits: 1, Misses: 2, Evictions: 0}}},
+		GCEvent{Benchmark: "tlc", Live: 100, Runs: 2, NodesMade: 500},
+		BenchmarkEvent{Name: "tlc", Phase: "start"},
+		CallEvent{Benchmark: "tlc", Call: 1, COnsetPct: 3.5, FSize: 42},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, ev := range events {
+		sink.Emit(ev)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("want %d lines, got %d", len(events), len(lines))
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i, err, line)
+		}
+		if obj["ev"] != events[i].Kind() {
+			t.Fatalf("line %d: ev = %v, want %s", i, obj["ev"], events[i].Kind())
+		}
+		if _, hasNs := obj["ns"]; hasNs {
+			t.Fatalf("line %d: ns present without Timings", i)
+		}
+	}
+}
+
+func TestJSONLTimings(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.Timings = true
+	sink.Emit(HeuristicEvent{Name: "x", Duration: 1500 * time.Nanosecond})
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["ns"] != float64(1500) {
+		t.Fatalf("ns = %v, want 1500", obj["ns"])
+	}
+}
+
+// Two identical runs must produce byte-identical traces when timings are
+// off, even if durations differ.
+func TestJSONLDeterministicWithoutTimings(t *testing.T) {
+	run := func(d time.Duration) string {
+		var buf bytes.Buffer
+		sink := NewJSONL(&buf)
+		sink.Emit(HeuristicEvent{Name: "osm_bt", InSize: 9, OutSize: 4, Accepted: true, Duration: d})
+		sink.Emit(WindowEvent{Phase: "close", Lo: 0, Hi: 3, FSize: 4, CSize: 1})
+		return buf.String()
+	}
+	if run(time.Millisecond) != run(time.Hour) {
+		t.Fatal("trace depends on durations with Timings off")
+	}
+}
