@@ -4,9 +4,10 @@
 //
 // Two families are recorded:
 //
-//   - micro: Support / Size / Density / SharedSize / ITE / Constrain / GC on
-//     a deterministic pool of random functions, via testing.Benchmark, with
-//     ns/op and allocs/op (the stamped traversals must report 0 allocs/op);
+//   - micro: Support / Size / Density / SharedSize / ITE / Constrain / GC /
+//     OSM-match / TSM-match / level-match on a deterministic pool of random
+//     functions, via testing.Benchmark, with ns/op and allocs/op (the
+//     stamped traversals and match kernels must report 0 allocs/op);
 //   - suite: one instrumented FSM self-equivalence sweep over the selected
 //     benchmarks, sequential and with the parallel worker pool, with
 //     NodesMade as the work measure.
@@ -14,7 +15,7 @@
 // The sequential sweep runs with the observability tracer attached, and
 // its aggregated per-heuristic breakdown (applications, acceptances, wins,
 // nodes saved, cumulative time) lands in the report's "heuristics"
-// section (schema bddmin-bench-kernel/2).
+// section (schema bddmin-bench-kernel/3).
 //
 // Usage:
 //
@@ -35,6 +36,7 @@ import (
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/circuits"
+	"bddmin/internal/core"
 	"bddmin/internal/harness"
 	"bddmin/internal/obs"
 )
@@ -283,6 +285,44 @@ func microBenches() []microBench {
 				// Regrow some garbage, then collect: steady-state GC cost.
 				_ = m.Xor(fs[i%32], fs[(i+5)%32])
 				m.GC()
+			}
+		}},
+		{"osm_match", func(b *testing.B) {
+			m, fs := pool(12, 64, 21)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 0 {
+					m.FlushCaches()
+				}
+				m.MatchOSM(fs[i%64], fs[(i+7)%64], fs[(i+13)%64], fs[(i+29)%64])
+			}
+		}},
+		{"tsm_match", func(b *testing.B) {
+			m, fs := pool(12, 64, 22)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 0 {
+					m.FlushCaches()
+				}
+				m.MatchTSM(fs[i%64], fs[(i+7)%64], fs[(i+13)%64], fs[(i+29)%64])
+			}
+		}},
+		{"levelmatch", func(b *testing.B) {
+			// One full opt_lv pass over a random incompletely specified
+			// function: collect + signature + solve at every level. Caches
+			// are flushed per iteration so each pass pays the kernels' cost.
+			m, fs := pool(12, 2, 23)
+			f, c := fs[0], fs[1]
+			if c == bdd.Zero {
+				c = bdd.One
+			}
+			opt := &core.OptLv{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.FlushCaches()
+				opt.Minimize(m, f, c)
 			}
 		}},
 	}

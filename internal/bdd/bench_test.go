@@ -137,6 +137,39 @@ func BenchmarkSharedSize(b *testing.B) {
 	}
 }
 
+func BenchmarkMatchOSM(b *testing.B) {
+	m, fs := benchSetup(12, 64, 21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			m.FlushCaches()
+		}
+		m.MatchOSM(fs[i%64], fs[(i+7)%64], fs[(i+13)%64], fs[(i+29)%64])
+	}
+}
+
+func BenchmarkMatchTSM(b *testing.B) {
+	m, fs := benchSetup(12, 64, 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			m.FlushCaches()
+		}
+		m.MatchTSM(fs[i%64], fs[(i+7)%64], fs[(i+13)%64], fs[(i+29)%64])
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	m, fs := benchSetup(14, 16, 23)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Signature(fs[i%16])
+	}
+}
+
 func BenchmarkMkNodeHashCons(b *testing.B) {
 	// Rebuilding an existing function exercises pure unique-table hits.
 	m, fs := benchSetup(10, 4, 9)

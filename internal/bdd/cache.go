@@ -1,8 +1,10 @@
 package bdd
 
 // computedCache is a lossy, 4-way set-associative cache shared by the
-// recursive operators (ITE, quantification, constrain, ...). Entries are
-// keyed by an operation tag plus up to three operand Refs and grouped into
+// recursive operators (ITE, quantification, constrain, ...) and by the
+// boolean match kernels (disjoint, MatchOSM, MatchTSM), whose verdicts are
+// stored as the constant Refs One (true) and Zero (false). Entries are
+// keyed by an operation tag plus up to four operand Refs and grouped into
 // sets of cacheWays consecutive slots; within a set, entries are kept in
 // most-recently-used order, so a hit promotes its entry to way 0 and an
 // insert evicts the coldest way. Correctness never depends on a hit; the
@@ -18,6 +20,7 @@ package bdd
 type computedCache struct {
 	entries []cacheEntry // cacheWays * numSets slots; set s is [s*cacheWays, s*cacheWays+cacheWays)
 	setMask uint32       // numSets - 1
+	gen     uint32       // current epoch; entries from older epochs are invalid
 	stats   [opLast]opCounters
 }
 
@@ -27,10 +30,10 @@ type computedCache struct {
 const cacheWays = 4
 
 type cacheEntry struct {
-	op      uint32
-	f, g, h Ref
-	result  Ref
-	valid   bool
+	op         uint32
+	f, g, h, k Ref
+	result     Ref
+	gen        uint32 // epoch the entry was written in; live iff == cache.gen
 }
 
 // opCounters aggregates per-operation cache statistics.
@@ -49,6 +52,9 @@ const (
 	opCompose // compose tags add the variable index: opCompose + uint32(v)<<8
 	opRename
 	opSupport
+	opDisjoint
+	opMatchXor
+	opMatchTSM
 	opLast
 )
 
@@ -63,6 +69,9 @@ var opNames = [opLast]string{
 	opCompose:   "compose",
 	opRename:    "rename",
 	opSupport:   "support",
+	opDisjoint:  "disjoint",
+	opMatchXor:  "match_xor",
+	opMatchTSM:  "match_tsm",
 }
 
 // opIndex maps an operation tag to its counter slot. Compose tags carry the
@@ -82,26 +91,37 @@ func (c *computedCache) init(bits int) {
 	}
 	c.entries = make([]cacheEntry, total)
 	c.setMask = uint32(total/cacheWays - 1)
+	c.gen = 1 // zero-value entries carry gen 0 and are therefore invalid
 }
 
+// clear invalidates every entry by advancing the epoch — O(1), so the
+// flush-per-heuristic measurement protocol costs nothing per flush. Only on
+// the (practically unreachable) epoch wraparound is the array zeroed, to
+// keep stale entries from resurrecting under a reused epoch.
 func (c *computedCache) clear() {
-	for i := range c.entries {
-		c.entries[i] = cacheEntry{}
+	c.gen++
+	if c.gen == 0 {
+		for i := range c.entries {
+			c.entries[i] = cacheEntry{}
+		}
+		c.gen = 1
 	}
 	c.stats = [opLast]opCounters{}
 }
 
-// set returns the ways of the set addressing (op, f, g, h).
-func (c *computedCache) set(op uint32, f, g, h Ref) []cacheEntry {
-	base := (hash3(uint32(f)*31+op, uint32(g), uint32(h)) & c.setMask) * cacheWays
+// set returns the ways of the set addressing (op, f, g, h, k). The fourth
+// operand is used only by the four-operand match kernel; every other
+// operation passes 0.
+func (c *computedCache) set(op uint32, f, g, h, k Ref) []cacheEntry {
+	base := (hash3(uint32(f)*31+op, uint32(g), uint32(h)^uint32(k)*0x9e3779b1) & c.setMask) * cacheWays
 	return c.entries[base : base+cacheWays : base+cacheWays]
 }
 
-func (c *computedCache) lookup(op uint32, f, g, h Ref) (Ref, bool) {
-	set := c.set(op, f, g, h)
+func (c *computedCache) lookup(op uint32, f, g, h, k Ref) (Ref, bool) {
+	set := c.set(op, f, g, h, k)
 	for i := range set {
 		e := &set[i]
-		if e.valid && e.op == op && e.f == f && e.g == g && e.h == h {
+		if e.gen == c.gen && e.op == op && e.f == f && e.g == g && e.h == h && e.k == k {
 			r := e.result
 			if i != 0 {
 				// Promote to MRU so the set evicts cold entries first.
@@ -117,23 +137,23 @@ func (c *computedCache) lookup(op uint32, f, g, h Ref) (Ref, bool) {
 	return 0, false
 }
 
-func (c *computedCache) insert(op uint32, f, g, h, result Ref) {
-	set := c.set(op, f, g, h)
+func (c *computedCache) insert(op uint32, f, g, h, k, result Ref) {
+	set := c.set(op, f, g, h, k)
 	victim := cacheWays - 1
 	for i := range set {
 		e := &set[i]
-		if !e.valid || (e.op == op && e.f == f && e.g == g && e.h == h) {
+		if e.gen != c.gen || (e.op == op && e.f == f && e.g == g && e.h == h && e.k == k) {
 			victim = i
 			break
 		}
 	}
-	if v := &set[victim]; v.valid && !(v.op == op && v.f == f && v.g == g && v.h == h) {
+	if v := &set[victim]; v.gen == c.gen && !(v.op == op && v.f == f && v.g == g && v.h == h && v.k == k) {
 		// A live entry of another computation is displaced; charge the
 		// eviction to the operation losing its result.
 		c.stats[opIndex(v.op)].evictions++
 	}
 	copy(set[1:victim+1], set[:victim])
-	set[0] = cacheEntry{op: op, f: f, g: g, h: h, result: result, valid: true}
+	set[0] = cacheEntry{op: op, f: f, g: g, h: h, k: k, result: result, gen: c.gen}
 }
 
 // FlushCaches clears the computed caches without reclaiming nodes. See the

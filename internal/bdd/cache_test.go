@@ -15,10 +15,10 @@ func TestCacheAssociativityRetainsCollidingEntries(t *testing.T) {
 	// cacheWays distinct keys, all forced into the same (only) set. A
 	// direct-mapped cache would keep just the last one.
 	for i := 0; i < cacheWays; i++ {
-		c.insert(opITE, Ref(2*i+2), One, Zero, Ref(100+2*i))
+		c.insert(opITE, Ref(2*i+2), One, Zero, 0, Ref(100+2*i))
 	}
 	for i := 0; i < cacheWays; i++ {
-		r, ok := c.lookup(opITE, Ref(2*i+2), One, Zero)
+		r, ok := c.lookup(opITE, Ref(2*i+2), One, Zero, 0)
 		if !ok {
 			t.Fatalf("entry %d lost despite %d-way associativity", i, cacheWays)
 		}
@@ -31,20 +31,20 @@ func TestCacheAssociativityRetainsCollidingEntries(t *testing.T) {
 func TestCacheEvictsColdestWay(t *testing.T) {
 	c := singleSetCache()
 	for i := 0; i < cacheWays; i++ {
-		c.insert(opITE, Ref(2*i+2), One, Zero, Ref(100+2*i))
+		c.insert(opITE, Ref(2*i+2), One, Zero, 0, Ref(100+2*i))
 	}
 	// Touch every entry except the first, so key 0 becomes the LRU way.
 	for i := 1; i < cacheWays; i++ {
-		if _, ok := c.lookup(opITE, Ref(2*i+2), One, Zero); !ok {
+		if _, ok := c.lookup(opITE, Ref(2*i+2), One, Zero, 0); !ok {
 			t.Fatalf("warm-up lookup %d missed", i)
 		}
 	}
-	c.insert(opITE, Ref(2*cacheWays+2), One, Zero, Ref(200))
-	if _, ok := c.lookup(opITE, Ref(2), One, Zero); ok {
+	c.insert(opITE, Ref(2*cacheWays+2), One, Zero, 0, Ref(200))
+	if _, ok := c.lookup(opITE, Ref(2), One, Zero, 0); ok {
 		t.Fatal("coldest entry must be the eviction victim")
 	}
 	for i := 1; i < cacheWays; i++ {
-		if _, ok := c.lookup(opITE, Ref(2*i+2), One, Zero); !ok {
+		if _, ok := c.lookup(opITE, Ref(2*i+2), One, Zero, 0); !ok {
 			t.Fatalf("recently used entry %d was evicted", i)
 		}
 	}
@@ -55,9 +55,9 @@ func TestCacheEvictsColdestWay(t *testing.T) {
 
 func TestCacheInsertSameKeyUpdatesInPlace(t *testing.T) {
 	c := singleSetCache()
-	c.insert(opConstrain, Ref(2), Ref(4), 0, Ref(6))
-	c.insert(opConstrain, Ref(2), Ref(4), 0, Ref(8))
-	if r, ok := c.lookup(opConstrain, Ref(2), Ref(4), 0); !ok || r != Ref(8) {
+	c.insert(opConstrain, Ref(2), Ref(4), 0, 0, Ref(6))
+	c.insert(opConstrain, Ref(2), Ref(4), 0, 0, Ref(8))
+	if r, ok := c.lookup(opConstrain, Ref(2), Ref(4), 0, 0); !ok || r != Ref(8) {
 		t.Fatalf("re-insert must update: ok=%v r=%v", ok, r)
 	}
 	if got := c.stats[opConstrain].evictions; got != 0 {

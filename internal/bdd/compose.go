@@ -19,7 +19,7 @@ func (m *Manager) compose(f Ref, level int32, g Ref, op uint32) Ref {
 		fT, fE := m.branches(f, level)
 		return m.ITE(g, fT, fE)
 	}
-	if r, ok := m.cache.lookup(op, f, g, 0); ok {
+	if r, ok := m.cache.lookup(op, f, g, 0, 0); ok {
 		return r
 	}
 	top := m.Level(f)
@@ -29,7 +29,7 @@ func (m *Manager) compose(f Ref, level int32, g Ref, op uint32) Ref {
 	// g may contain variables at or above top, so rebuild with ITE rather
 	// than mkNode.
 	r := m.ITE(m.MkVar(Var(top)), t, e)
-	m.cache.insert(op, f, g, 0, r)
+	m.cache.insert(op, f, g, 0, 0, r)
 	return r
 }
 

@@ -31,7 +31,7 @@ func (m *Manager) constrain(f, c Ref) Ref {
 	if f == c.Not() {
 		return Zero
 	}
-	if r, ok := m.cache.lookup(opConstrain, f, c, 0); ok {
+	if r, ok := m.cache.lookup(opConstrain, f, c, 0, 0); ok {
 		return r
 	}
 	top := m.Level(f)
@@ -49,7 +49,7 @@ func (m *Manager) constrain(f, c Ref) Ref {
 	default:
 		r = m.mkNode(top, m.constrain(fT, cT), m.constrain(fE, cE))
 	}
-	m.cache.insert(opConstrain, f, c, 0, r)
+	m.cache.insert(opConstrain, f, c, 0, 0, r)
 	return r
 }
 
@@ -80,7 +80,7 @@ func (m *Manager) restrict(f, c Ref) Ref {
 	if f == c.Not() {
 		return Zero
 	}
-	if r, ok := m.cache.lookup(opRestrict, f, c, 0); ok {
+	if r, ok := m.cache.lookup(opRestrict, f, c, 0, 0); ok {
 		return r
 	}
 	fl, cl := m.Level(f), m.Level(c)
@@ -106,6 +106,6 @@ func (m *Manager) restrict(f, c Ref) Ref {
 			r = m.mkNode(fl, m.restrict(fT, cT), m.restrict(fE, cE))
 		}
 	}
-	m.cache.insert(opRestrict, f, c, 0, r)
+	m.cache.insert(opRestrict, f, c, 0, 0, r)
 	return r
 }

@@ -5,6 +5,62 @@ import (
 	"testing"
 )
 
+// FuzzMatchKernels: the allocation-free match kernels must agree with
+// their build-the-BDD definitions on arbitrary incompletely specified
+// functions, build zero nodes while doing so, and never be rejected by the
+// signature filters when they match (signatures are necessary-condition
+// filters only).
+func FuzzMatchKernels(f *testing.F) {
+	f.Add([]byte{0x00, 0xff, 0x0f, 0xf0, 0x55, 0xaa, 0x33, 0xcc, 0x01, 0x80, 0x7e, 0xe7, 0x18, 0x81, 0xff, 0x00})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x00, 0x00, 0xff, 0xff})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 16 {
+			return
+		}
+		// Four 5-variable truth tables (32 bits each) from the input.
+		m := New(5)
+		word := func(off int) Ref {
+			bits := make([]bool, 32)
+			for i := range bits {
+				bits[i] = data[off+i/8]&(1<<(i%8)) != 0
+			}
+			return m.FromTruthTable(vars(5), bits)
+		}
+		f1, c1, f2, c2 := word(0), word(4), word(8), word(12)
+
+		liveBefore, madeBefore := m.NumNodes(), m.NodesMade()
+		gotOSM := m.MatchOSM(f1, c1, f2, c2)
+		gotTSM := m.MatchTSM(f1, c1, f2, c2)
+		gotDisj := m.Disjoint(f1, f2)
+		gotLeq := m.Leq(c1, c2)
+		if live, made := m.NumNodes(), m.NodesMade(); live != liveBefore || made != madeBefore {
+			t.Fatalf("kernels built nodes: live %d->%d, made %d->%d", liveBefore, live, madeBefore, made)
+		}
+
+		if want := m.And(m.Xor(f1, f2), c1) == Zero && m.AndNot(c1, c2) == Zero; gotOSM != want {
+			t.Fatalf("MatchOSM = %v, naive = %v", gotOSM, want)
+		}
+		if want := m.AndN(m.Xor(f1, f2), c1, c2) == Zero; gotTSM != want {
+			t.Fatalf("MatchTSM = %v, naive = %v", gotTSM, want)
+		}
+		if want := m.And(f1, f2) == Zero; gotDisj != want {
+			t.Fatalf("Disjoint = %v, naive = %v", gotDisj, want)
+		}
+		if want := m.AndNot(c1, c2) == Zero; gotLeq != want {
+			t.Fatalf("Leq = %v, naive = %v", gotLeq, want)
+		}
+
+		sigs := m.AppendSignatures(nil, f1, c1, f2, c2)
+		if gotOSM && !SigMatchOSM(sigs[0], sigs[1], sigs[2], sigs[3]) {
+			t.Fatal("OSM signature filter rejected a true match")
+		}
+		if gotTSM && !SigMatchTSM(sigs[0], sigs[1], sigs[2], sigs[3]) {
+			t.Fatal("TSM signature filter rejected a true match")
+		}
+	})
+}
+
 // FuzzReadFunctions: the deserializer must never panic or corrupt the
 // manager on arbitrary input; on success, the loaded functions must live
 // in a manager that still passes the structural invariant check.

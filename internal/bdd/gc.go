@@ -78,6 +78,7 @@ func (m *Manager) GC(extra ...Ref) int {
 	m.live = liveNow
 	m.rehash()
 	m.cache.clear()
+	m.invalidateSignatures() // freed slots may be rebuilt as new functions
 	return liveBefore - liveNow
 }
 

@@ -83,7 +83,7 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 		g, h = g.Not(), h.Not()
 		neg = true
 	}
-	if r, ok := m.cache.lookup(opITE, f, g, h); ok {
+	if r, ok := m.cache.lookup(opITE, f, g, h, 0); ok {
 		if neg {
 			return r.Not()
 		}
@@ -102,7 +102,7 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 	t := m.ite(fT, gT, hT)
 	e := m.ite(fE, gE, hE)
 	r := m.mkNode(top, t, e)
-	m.cache.insert(opITE, f, g, h, r)
+	m.cache.insert(opITE, f, g, h, 0, r)
 	if neg {
 		return r.Not()
 	}

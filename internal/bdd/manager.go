@@ -33,6 +33,12 @@ type Manager struct {
 	markBuf  []uint32  // reusable explicit stack / index buffer
 	densMemo []float64 // per-node density memo, valid where stamp matches
 
+	// Signature memo (see signature.go). Nodes are immutable until GC
+	// recycles their slots, so memoized signatures stay valid across calls:
+	// sigGen advances only when GC frees nodes, not per walk.
+	sigMemo []sigEntry // per-node signature memo, valid where the entry's gen matches
+	sigGen  uint32     // current signature epoch; 0 is never valid
+
 	// statistics
 	stGCRuns    int
 	stNodesMade uint64
@@ -92,6 +98,7 @@ func NewWithConfig(nvars int, cfg Config) *Manager {
 		roots:   make(map[Ref]int),
 	}
 	m.cache.init(cfg.CacheBits)
+	m.sigGen = 1
 	// Node 0 is the terminal.
 	m.nodes = append(m.nodes, node{level: terminalLevel})
 	m.live = 1

@@ -46,8 +46,27 @@ func (m *Manager) OrN(fs ...Ref) Ref {
 // containment test used to verify covers of incompletely specified
 // functions: g covers [f, c] iff f·c ≤ g ≤ f + ¬c.
 func (m *Manager) Leq(f, g Ref) bool {
-	// f ≤ g  ⇔  f·¬g = 0. Use a dedicated recursion with early exit
-	// rather than materializing the conjunction.
+	m.checkRef(f)
+	m.checkRef(g)
+	m.growSigMemo()
+	return m.leq(f, g)
+}
+
+func (m *Manager) leq(f, g Ref) bool {
+	if f == g || f == Zero || g == One {
+		return true
+	}
+	// A signature lane with f true and g false is a concrete assignment
+	// refuting containment — no recursion, no cache traffic.
+	if m.sigRefuteLeq(f, g) {
+		return false
+	}
+	// f ≤ g  ⇔  f·g = f: a conjunction cached under the *uncomplemented*
+	// operand answers containment directly, so probe it before falling back
+	// to the complemented-operand formulation f·¬g = 0.
+	if r, ok := m.cacheAndProbe(f, g); ok {
+		return r == f
+	}
 	return m.disjoint(f, g.Not())
 }
 
@@ -55,7 +74,17 @@ func (m *Manager) Leq(f, g Ref) bool {
 func (m *Manager) Disjoint(f, g Ref) bool {
 	m.checkRef(f)
 	m.checkRef(g)
+	m.growSigMemo()
 	return m.disjoint(f, g)
+}
+
+// boolRef encodes a boolean verdict as a constant Ref for the computed
+// cache; the match kernels and disjoint store their results this way.
+func boolRef(b bool) Ref {
+	if b {
+		return One
+	}
+	return Zero
 }
 
 func (m *Manager) disjoint(f, g Ref) bool {
@@ -71,18 +100,41 @@ func (m *Manager) disjoint(f, g Ref) bool {
 	if f == g.Not() {
 		return true
 	}
+	// A signature lane where both functions hold witnesses a nonempty
+	// product — no recursion, no cache traffic.
+	if m.sigRefuteDisjoint(f, g) {
+		return false
+	}
 	// Reuse the computed cache through an AND probe when available: a
 	// cached conjunction answers the question for free.
 	if r, ok := m.cacheAndProbe(f, g); ok {
 		return r == Zero
 	}
+	// Boolean-result slot: disjointness is symmetric, so canonicalize the
+	// operand order before probing the memoized verdict.
+	a, b := f, g
+	if b < a {
+		a, b = b, a
+	}
 	top := m.Level(f)
 	if l := m.Level(g); l < top {
 		top = l
 	}
+	// Near-terminal subproblems skip the memo entirely; see
+	// kernelCacheCutoff (match.go).
+	cached := int(top) < m.nvars-kernelCacheCutoff
+	if cached {
+		if r, ok := m.cache.lookup(opDisjoint, a, b, 0, 0); ok {
+			return r == One
+		}
+	}
 	fT, fE := m.branches(f, top)
 	gT, gE := m.branches(g, top)
-	return m.disjoint(fT, gT) && m.disjoint(fE, gE)
+	res := m.disjoint(fT, gT) && m.disjoint(fE, gE)
+	if cached {
+		m.cache.insert(opDisjoint, a, b, 0, 0, boolRef(res))
+	}
+	return res
 }
 
 // cacheAndProbe checks whether the conjunction of f and g is already in the
@@ -101,7 +153,7 @@ func (m *Manager) cacheAndProbe(f, g Ref) (Ref, bool) {
 		g, h = g.Not(), h.Not()
 		neg = true
 	}
-	if r, ok := m.cache.lookup(opITE, f, g, h); ok {
+	if r, ok := m.cache.lookup(opITE, f, g, h, 0); ok {
 		if neg {
 			return r.Not(), true
 		}
@@ -113,7 +165,9 @@ func (m *Manager) cacheAndProbe(f, g Ref) (Ref, bool) {
 // Cover reports whether g is a cover of the incompletely specified
 // function [f, c], i.e. f·c ≤ g ≤ f + ¬c (Definition 2 of the paper).
 func (m *Manager) Cover(g, f, c Ref) bool {
-	return m.disjoint(m.And(f, c), g.Not()) && m.disjoint(g, m.And(f.Not(), c))
+	fc, nfc := m.And(f, c), m.And(f.Not(), c)
+	m.growSigMemo() // the conjunctions above may have grown the arena
+	return m.disjoint(fc, g.Not()) && m.disjoint(g, nfc)
 }
 
 // Equal reports whether f and g denote the same function. With strong

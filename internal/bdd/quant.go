@@ -27,7 +27,7 @@ func (m *Manager) exists(f, cube Ref) Ref {
 			return f
 		}
 	}
-	if r, ok := m.cache.lookup(opExists, f, cube, 0); ok {
+	if r, ok := m.cache.lookup(opExists, f, cube, 0, 0); ok {
 		return r
 	}
 	top := m.Level(f)
@@ -44,7 +44,7 @@ func (m *Manager) exists(f, cube Ref) Ref {
 	} else {
 		r = m.mkNode(top, m.exists(fT, cube), m.exists(fE, cube))
 	}
-	m.cache.insert(opExists, f, cube, 0, r)
+	m.cache.insert(opExists, f, cube, 0, 0, r)
 	return r
 }
 
@@ -85,7 +85,7 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 	if cube == One {
 		return m.And(f, g)
 	}
-	if r, ok := m.cache.lookup(opAndExists, f, g, cube); ok {
+	if r, ok := m.cache.lookup(opAndExists, f, g, cube, 0); ok {
 		return r
 	}
 	fT, fE := m.branches(f, top)
@@ -102,7 +102,7 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 	} else {
 		r = m.mkNode(top, m.andExists(fT, gT, cube), m.andExists(fE, gE, cube))
 	}
-	m.cache.insert(opAndExists, f, g, cube, r)
+	m.cache.insert(opAndExists, f, g, cube, 0, r)
 	return r
 }
 

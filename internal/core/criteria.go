@@ -38,15 +38,17 @@ func (c Criterion) String() string {
 
 // Matches reports whether a matches b under the criterion. Note the
 // asymmetry for OSDM and OSM: Matches(m, OSM, a, b) means a can be replaced
-// by b's i-cover.
+// by b's i-cover. OSM and TSM run on the manager's allocation-free match
+// kernels: no intermediate XOR/AND BDD is built and the verdict is
+// memoized in the computed cache.
 func (cr Criterion) Matches(m *bdd.Manager, a, b ISF) bool {
 	switch cr {
 	case OSDM:
 		return a.C == bdd.Zero
 	case OSM:
-		return m.Disjoint(m.Xor(a.F, b.F), a.C) && m.Leq(a.C, b.C)
+		return m.MatchOSM(a.F, a.C, b.F, b.C)
 	case TSM:
-		return m.Disjoint(m.And(m.Xor(a.F, b.F), a.C), b.C)
+		return m.MatchTSM(a.F, a.C, b.F, b.C)
 	}
 	panic("core: invalid criterion")
 }

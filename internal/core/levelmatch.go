@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"math/bits"
+	"sync"
 	"time"
 
 	"bddmin/internal/bdd"
@@ -18,6 +19,27 @@ type LevelPair struct {
 	// DontCare when the variable did not appear on the path — the paper's
 	// "2").
 	Path []bdd.CubeValue
+	// FSig and CSig are the 64-assignment semantic signatures of F and C
+	// (bdd.Signature), filled by CollectLevelPairs. The solvers use them to
+	// reject provably non-matching pairs with one word operation before any
+	// kernel recursion runs; zero signatures (pairs built by hand) disable
+	// pruning and are always safe.
+	FSig, CSig uint64
+	// pathVal/pathCare pack Path into words (level i at bit k−i−1, so the
+	// masked XOR below *is* the distance sum): filled by CollectLevelPairs
+	// when the path fits in 64 bits, signalled by pathLen > 0. Hand-built
+	// pairs leave pathLen 0 and take the slice-walking PairDistance.
+	pathVal, pathCare uint64
+	pathLen           uint8
+}
+
+// pairDist is PairDistance on the packed path words: the bit layout makes
+// the care-masked XOR equal to the weighted sum directly.
+func pairDist(a, b *LevelPair) uint64 {
+	if a.pathLen > 0 && a.pathLen == b.pathLen {
+		return (a.pathVal ^ b.pathVal) & a.pathCare & b.pathCare
+	}
+	return PairDistance(*a, *b)
 }
 
 // CollectLevelPairs gathers the incompletely specified subfunctions of
@@ -31,32 +53,254 @@ type LevelPair struct {
 // runtime guard; its experiments ran unlimited, observing a maximum set
 // size of 513).
 func CollectLevelPairs(m *bdd.Manager, in ISF, i bdd.Var, limit int) []LevelPair {
-	c := &collector{
-		m:     m,
-		level: int32(i),
-		limit: limit,
-		seen:  make(map[ISF]bool),
-		path:  make([]bdd.CubeValue, int(i)+1),
+	return collectLevelPairs(m, in, i, limit, newLvScratch())
+}
+
+// lvScratch pools the per-level allocations of the level matcher — the
+// collector's visited set and path buffers, the clique cover's bitsets and
+// the replacement/rebuild maps — so a full per-level sweep (OptLv) pays
+// for them once per Minimize call instead of once per level. A scratch is
+// single-goroutine like the Manager; public entry points allocate a fresh
+// one, OptLv.Minimize reuses one across its levels.
+// isfSet is an open-addressing hash set of ISF pairs used as the
+// collector's visited set: the walk probes it once per reachable (F, C)
+// pair, and the Go map's hashing and bucket indirection were a measurable
+// slice of level-matching time. Keys pack both Refs into one word, offset
+// by one so the zero word can mark empty slots.
+type isfSet struct {
+	slots []uint64
+	used  int
+}
+
+// isfKey packs an ISF into one word, offset by one so a zero word can mark
+// an empty slot in the open-addressing tables below.
+func isfKey(in ISF) uint64 { return (uint64(in.F)<<32 | uint64(in.C)) + 1 }
+
+func (s *isfSet) reset(hint int) {
+	want := 16
+	for want < 2*hint {
+		want <<= 1
 	}
-	for p := range c.path {
-		c.path[p] = bdd.DontCare
+	if cap(s.slots) >= want {
+		s.slots = s.slots[:want]
+		for i := range s.slots {
+			s.slots[i] = 0
+		}
+	} else {
+		s.slots = make([]uint64, want)
 	}
+	s.used = 0
+}
+
+// visit reports whether the pair was already present, inserting it if not.
+func (s *isfSet) visit(in ISF) bool {
+	key := isfKey(in)
+	mask := uint64(len(s.slots) - 1)
+	i := (key * 0x9e3779b97f4a7c15) >> 32 & mask
+	for {
+		switch s.slots[i] {
+		case key:
+			return true
+		case 0:
+			s.slots[i] = key
+			s.used++
+			if 4*s.used > 3*len(s.slots) {
+				s.grow()
+			}
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *isfSet) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	mask := uint64(len(s.slots) - 1)
+	for _, key := range old {
+		if key == 0 {
+			continue
+		}
+		i := (key * 0x9e3779b97f4a7c15) >> 32 & mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = key
+	}
+}
+
+// isfMap is the ISF→ISF companion of isfSet, backing the rebuilder's memo
+// table: one probe per rebuilt node pair, on scratch-owned memory.
+type isfMap struct {
+	keys []uint64
+	vals []ISF
+	used int
+}
+
+func (t *isfMap) reset(hint int) {
+	want := 16
+	for want < 2*hint {
+		want <<= 1
+	}
+	if cap(t.keys) >= want {
+		t.keys = t.keys[:want]
+		for i := range t.keys {
+			t.keys[i] = 0
+		}
+		t.vals = t.vals[:want]
+	} else {
+		t.keys = make([]uint64, want)
+		t.vals = make([]ISF, want)
+	}
+	t.used = 0
+}
+
+func (t *isfMap) get(in ISF) (ISF, bool) {
+	key := isfKey(in)
+	mask := uint64(len(t.keys) - 1)
+	i := key * 0x9e3779b97f4a7c15 >> 32 & mask
+	for {
+		switch t.keys[i] {
+		case key:
+			return t.vals[i], true
+		case 0:
+			return ISF{}, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *isfMap) put(in, v ISF) {
+	if 4*(t.used+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	key := isfKey(in)
+	mask := uint64(len(t.keys) - 1)
+	i := key * 0x9e3779b97f4a7c15 >> 32 & mask
+	for t.keys[i] != 0 && t.keys[i] != key {
+		i = (i + 1) & mask
+	}
+	if t.keys[i] == 0 {
+		t.used++
+	}
+	t.keys[i] = key
+	t.vals[i] = v
+}
+
+func (t *isfMap) grow() {
+	oldK, oldV := t.keys, t.vals
+	t.keys = make([]uint64, 2*len(oldK))
+	t.vals = make([]ISF, 2*len(oldK))
+	mask := uint64(len(t.keys) - 1)
+	for j, key := range oldK {
+		if key == 0 {
+			continue
+		}
+		i := key * 0x9e3779b97f4a7c15 >> 32 & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = key
+		t.vals[i] = oldV[j]
+	}
+}
+
+type lvScratch struct {
+	seen       isfSet          // collector's visited set
+	path       []bdd.CubeValue // collector's current path
+	pathBuf    []bdd.CubeValue // backing slab for the collected pairs' Paths
+	pairs      []LevelPair     // collected pairs
+	refs       []bdd.Ref       // signature batch input
+	sigs       []uint64        // signature batch output
+	adj        []uint64        // clique cover: bitset adjacency rows
+	deg        []int           // clique cover: vertex degrees
+	order      []int           // clique cover: seed order
+	covered    []uint64        // clique cover: covered-vertex bitset
+	cand       []uint64        // clique cover: candidate bitset
+	minDist    []uint64        // clique cover: lightest edge into the clique
+	cliqueBuf  []int           // clique cover: member slab
+	cliqueEnds []int           // clique cover: end offset of each clique in the slab
+	degCnt     []int           // clique cover: counting-sort buckets
+	cliques    [][]int         // clique cover: views into the slab
+	repl       map[ISF]ISF     // replacement map of the current level
+	memo       isfMap          // rebuilder memo
+}
+
+func newLvScratch() *lvScratch {
+	return &lvScratch{repl: make(map[ISF]ISF)}
+}
+
+// lvScratchPool recycles scratches across minimization calls. Only entry
+// points whose results do not alias scratch memory may use it
+// (MinimizeAtLevelStats, OptLv.Minimize); CollectLevelPairs and the level
+// solvers return scratch-backed slices/maps and must keep their scratch.
+var lvScratchPool = sync.Pool{New: func() any { return newLvScratch() }}
+
+// growU64 returns buf resized to n zeroed elements, reusing its capacity.
+func growU64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growInt returns buf resized to n zeroed elements, reusing its capacity.
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func collectLevelPairs(m *bdd.Manager, in ISF, i bdd.Var, limit int, sc *lvScratch) []LevelPair {
+	sc.seen.reset(sc.seen.used) // last round's population sizes this one
+	if cap(sc.path) < int(i)+1 {
+		sc.path = make([]bdd.CubeValue, int(i)+1)
+	} else {
+		sc.path = sc.path[:int(i)+1]
+	}
+	for p := range sc.path {
+		sc.path[p] = bdd.DontCare
+	}
+	sc.pairs = sc.pairs[:0]
+	sc.pathBuf = sc.pathBuf[:0]
+	c := &collector{m: m, level: int32(i), limit: limit, sc: sc}
 	c.walk(in)
-	return c.pairs
+	pairs := sc.pairs
+	if len(pairs) > 0 {
+		// Fingerprint every collected component in one batch; nodes shared
+		// between pairs (and with earlier queries) are visited once.
+		sc.refs = sc.refs[:0]
+		for _, p := range pairs {
+			sc.refs = append(sc.refs, p.F, p.C)
+		}
+		sc.sigs = m.AppendSignatures(sc.sigs[:0], sc.refs...)
+		for i := range pairs {
+			pairs[i].FSig, pairs[i].CSig = sc.sigs[2*i], sc.sigs[2*i+1]
+		}
+	}
+	return pairs
 }
 
 type collector struct {
 	m     *bdd.Manager
 	level int32
 	limit int
-	seen  map[ISF]bool
-	path  []bdd.CubeValue
-	pairs []LevelPair
+	sc    *lvScratch
 }
 
 // walk returns false when the limit has been hit.
 func (c *collector) walk(in ISF) bool {
-	if c.seen[in] {
+	sc := c.sc
+	if sc.seen.visit(in) {
 		return true
 	}
 	fl, cl := c.m.Level(in.F), c.m.Level(in.C)
@@ -65,23 +309,41 @@ func (c *collector) walk(in ISF) bool {
 		top = cl
 	}
 	if top > c.level {
-		c.seen[in] = true
-		c.pairs = append(c.pairs, LevelPair{
+		// Copy the path into the shared slab. Appends never mutate the
+		// slab's earlier segments, so previously taken Path slices stay
+		// intact even when the slab reallocates on growth.
+		start := len(sc.pathBuf)
+		sc.pathBuf = append(sc.pathBuf, sc.path...)
+		p := LevelPair{
 			ISF:  in,
-			Path: append([]bdd.CubeValue(nil), c.path...),
-		})
-		return c.limit <= 0 || len(c.pairs) < c.limit
+			Path: sc.pathBuf[start:len(sc.pathBuf):len(sc.pathBuf)],
+		}
+		if k := len(sc.path); k <= 64 {
+			var val, care uint64
+			for lvl, v := range sc.path {
+				if v == bdd.DontCare {
+					continue
+				}
+				bit := uint(k - lvl - 1)
+				care |= 1 << bit
+				if v == bdd.CubeOne {
+					val |= 1 << bit
+				}
+			}
+			p.pathVal, p.pathCare, p.pathLen = val, care, uint8(k)
+		}
+		sc.pairs = append(sc.pairs, p)
+		return c.limit <= 0 || len(sc.pairs) < c.limit
 	}
-	c.seen[in] = true
 	fT, fE := branchAt(c.m, in.F, top)
 	cT, cE := branchAt(c.m, in.C, top)
-	c.path[top] = bdd.CubeOne
+	sc.path[top] = bdd.CubeOne
 	ok := c.walk(ISF{fT, cT})
-	c.path[top] = bdd.CubeZero
+	sc.path[top] = bdd.CubeZero
 	if ok {
 		ok = c.walk(ISF{fE, cE})
 	}
-	c.path[top] = bdd.DontCare
+	sc.path[top] = bdd.DontCare
 	return ok
 }
 
@@ -123,21 +385,31 @@ func PairDistance(a, b LevelPair) uint64 {
 // minimum set of i-covers. The returned map sends every replaced pair's
 // ISF to its i-cover; unreplaced (sink) pairs are absent.
 func SolveOSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
-	repl, _ := solveOSMLevel(m, pairs)
+	repl, _, _ := solveOSMLevel(m, pairs)
 	return repl
 }
 
-// solveOSMLevel additionally reports the DMG's edge count for tracing.
-func solveOSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int) {
+// solveOSMLevel additionally reports the DMG's edge count and the number
+// of candidate pairs rejected by the signature filter, for tracing.
+func solveOSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int, int) {
 	n := len(pairs)
-	edges := 0
+	edges, pruned := 0, 0
 	match := make([][]bool, n)
 	for j := range match {
 		match[j] = make([]bool, n)
 	}
 	for j := 0; j < n; j++ {
 		for k := 0; k < n; k++ {
-			if j != k && OSM.Matches(m, pairs[j].ISF, pairs[k].ISF) {
+			if j == k {
+				continue
+			}
+			// One word operation rejects pairs that provably cannot match;
+			// only survivors pay for a kernel query.
+			if !bdd.SigMatchOSM(pairs[j].FSig, pairs[j].CSig, pairs[k].FSig, pairs[k].CSig) {
+				pruned++
+				continue
+			}
+			if OSM.Matches(m, pairs[j].ISF, pairs[k].ISF) {
 				match[j][k] = true
 				edges++
 			}
@@ -188,7 +460,7 @@ func solveOSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int) {
 			repl[pairs[j].ISF] = pairs[s].ISF
 		}
 	}
-	return repl, edges
+	return repl, edges, pruned
 }
 
 // SolveTSMLevel solves FMM for the TSM criterion heuristically via clique
@@ -200,16 +472,19 @@ func solveOSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int) {
 // matches of nearby functions. Each clique is folded into a single common
 // i-cover (Lemma 14 guarantees one exists).
 func SolveTSMLevel(m *bdd.Manager, pairs []LevelPair) map[ISF]ISF {
-	repl, _, _ := solveTSMLevel(m, pairs)
+	repl, _, _, _ := solveTSMLevel(m, pairs, newLvScratch())
 	return repl
 }
 
-// solveTSMLevel additionally reports the matching graph's edge count and
-// the number of non-singleton cliques folded, for tracing.
-func solveTSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int, int) {
-	cliques, edges := tsmCliqueCover(m, pairs, true)
+// solveTSMLevel additionally reports the matching graph's edge count, the
+// number of non-singleton cliques folded, and the signature-pruned pair
+// count, for tracing. The returned map is sc.repl: valid until the next
+// solve on the same scratch.
+func solveTSMLevel(m *bdd.Manager, pairs []LevelPair, sc *lvScratch) (map[ISF]ISF, int, int, int) {
+	cliques, edges, pruned := tsmCliqueCover(m, pairs, true, sc)
 	folded := 0
-	repl := make(map[ISF]ISF)
+	repl := sc.repl
+	clear(repl)
 	for _, clique := range cliques {
 		if len(clique) < 2 {
 			continue
@@ -225,7 +500,7 @@ func solveTSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int, int) {
 			}
 		}
 	}
-	return repl, edges, folded
+	return repl, edges, folded, pruned
 }
 
 // TSMCliqueCover partitions the vertices of the undirected TSM matching
@@ -234,110 +509,163 @@ func solveTSMLevel(m *bdd.Manager, pairs []LevelPair) (map[ISF]ISF, int, int) {
 // vertices and extensions in index order (the baseline the paper's
 // optimizations are measured against — see the ablation benchmarks).
 func TSMCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) [][]int {
-	cliques, _ := tsmCliqueCover(m, pairs, optimized)
+	cliques, _, _ := tsmCliqueCover(m, pairs, optimized, newLvScratch())
 	return cliques
 }
 
-// tsmCliqueCover additionally reports the undirected edge count for
-// tracing.
-func tsmCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) ([][]int, int) {
+// tsmCliqueCover additionally reports the undirected edge count and the
+// signature-pruned pair count for tracing. The returned cliques are views
+// into the scratch's member slab: valid until the next cover on the same
+// scratch.
+//
+// The matching graph is stored as bitset adjacency rows (word w of row j
+// holds vertices 64w..64w+63), so growing a clique intersects candidate
+// sets with single word operations instead of per-member map probes, and
+// iteration order is index order by construction — no map-order laundering
+// needed for determinism.
+func tsmCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool, sc *lvScratch) ([][]int, int, int) {
 	n := len(pairs)
-	edges := 0
-	adj := make([]map[int]bool, n)
-	deg := make([]int, n)
-	for j := 0; j < n; j++ {
-		adj[j] = make(map[int]bool)
-	}
+	edges, pruned := 0, 0
+	words := (n + 63) / 64
+	sc.adj = growU64(sc.adj, n*words) // row j is adj[j*words : (j+1)*words]
+	adj := sc.adj
+	sc.deg = growInt(sc.deg, n)
+	deg := sc.deg
 	for j := 0; j < n; j++ {
 		for k := j + 1; k < n; k++ {
+			// Signature filter first: a nonzero witness word proves the
+			// pair cannot TSM-match, skipping the kernel entirely.
+			if !bdd.SigMatchTSM(pairs[j].FSig, pairs[j].CSig, pairs[k].FSig, pairs[k].CSig) {
+				pruned++
+				continue
+			}
 			if TSM.Matches(m, pairs[j].ISF, pairs[k].ISF) {
-				adj[j][k] = true
-				adj[k][j] = true
+				adj[j*words+k/64] |= 1 << uint(k%64)
+				adj[k*words+j/64] |= 1 << uint(j%64)
 				deg[j]++
 				deg[k]++
 				edges++
 			}
 		}
 	}
-	order := make([]int, n)
-	for j := range order {
-		order[j] = j
-	}
+	sc.order = growInt(sc.order, n)
+	order := sc.order
 	if optimized {
-		sort.SliceStable(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+		// Stable counting sort, descending by degree: degrees are < n, so
+		// bucket by n−1−deg and place vertices in ascending index order —
+		// identical ordering to a stable comparison sort, without the
+		// comparator-closure overhead on every level.
+		cnt := growInt(sc.degCnt, n+1)
+		sc.degCnt = cnt
+		for j := 0; j < n; j++ {
+			cnt[n-1-deg[j]]++
+		}
+		pos := 0
+		for b := 0; b <= n; b++ {
+			c := cnt[b]
+			cnt[b] = pos
+			pos += c
+		}
+		for j := 0; j < n; j++ {
+			b := n - 1 - deg[j]
+			order[cnt[b]] = j
+			cnt[b]++
+		}
+	} else {
+		for j := range order {
+			order[j] = j
+		}
 	}
-	covered := make([]bool, n)
-	var cliques [][]int
+	sc.covered = growU64(sc.covered, words)
+	covered := sc.covered
+	// cand is the running intersection of the adjacency rows of the current
+	// clique's members: exactly the vertices that extend it. minDist[w] is
+	// the weight of w's lightest edge into the clique, maintained
+	// incrementally as members join.
+	sc.cand = growU64(sc.cand, words)
+	cand := sc.cand
+	if cap(sc.minDist) < n {
+		sc.minDist = make([]uint64, n)
+	}
+	minDist := sc.minDist[:n]
+	// Members accumulate in a flat slab with per-clique end offsets; the
+	// returned [][]int views are cut from the slab only after it stops
+	// growing, so slab reallocation cannot strand an earlier view.
+	sc.cliqueBuf = sc.cliqueBuf[:0]
+	sc.cliqueEnds = sc.cliqueEnds[:0]
 	for _, seed := range order {
-		if covered[seed] {
+		if covered[seed/64]&(1<<uint(seed%64)) != 0 {
 			continue
 		}
-		clique := []int{seed}
-		covered[seed] = true
+		sc.cliqueBuf = append(sc.cliqueBuf, seed)
+		covered[seed/64] |= 1 << uint(seed%64)
+		row := adj[seed*words : (seed+1)*words]
+		for w := 0; w < words; w++ {
+			cand[w] = row[w] &^ covered[w]
+		}
 		if optimized {
 			// Section 3.3.2, second optimization: repeatedly take the
 			// lightest outgoing edge of the *current* clique (distance
 			// weight), so nearby functions are matched preferentially.
+			for w := 0; w < words; w++ {
+				for b := cand[w]; b != 0; b &= b - 1 {
+					v := w*64 + bits.TrailingZeros64(b)
+					minDist[v] = pairDist(&pairs[seed], &pairs[v])
+				}
+			}
 			for {
 				bestW, bestDist := -1, uint64(0)
-				for w := range adj[seed] {
-					if covered[w] {
-						continue
-					}
-					ok := true
-					dist := ^uint64(0)
-					for _, u := range clique {
-						if !adj[w][u] {
-							ok = false
-							break
+				for w := 0; w < words; w++ {
+					for b := cand[w]; b != 0; b &= b - 1 {
+						v := w*64 + bits.TrailingZeros64(b)
+						if bestW < 0 || minDist[v] < bestDist {
+							bestW, bestDist = v, minDist[v]
 						}
-						// Weight of edge (u, w); the candidate's weight is
-						// its lightest edge into the clique.
-						if d := PairDistance(pairs[u], pairs[w]); d < dist {
-							dist = d
-						}
-					}
-					if !ok {
-						continue
-					}
-					if bestW < 0 || dist < bestDist || (dist == bestDist && w < bestW) {
-						bestW, bestDist = w, dist
 					}
 				}
 				if bestW < 0 {
 					break
 				}
-				clique = append(clique, bestW)
-				covered[bestW] = true
-			}
-		} else {
-			var cands []int
-			for w := range adj[seed] {
-				if !covered[w] {
-					cands = append(cands, w)
+				sc.cliqueBuf = append(sc.cliqueBuf, bestW)
+				covered[bestW/64] |= 1 << uint(bestW%64)
+				row = adj[bestW*words : (bestW+1)*words]
+				for w := 0; w < words; w++ {
+					cand[w] &= row[w] &^ covered[w]
 				}
-			}
-			sort.Ints(cands)
-			for _, w := range cands {
-				if covered[w] {
-					continue
-				}
-				ok := true
-				for _, u := range clique {
-					if !adj[w][u] {
-						ok = false
-						break
+				for w := 0; w < words; w++ {
+					for b := cand[w]; b != 0; b &= b - 1 {
+						v := w*64 + bits.TrailingZeros64(b)
+						if d := pairDist(&pairs[bestW], &pairs[v]); d < minDist[v] {
+							minDist[v] = d
+						}
 					}
 				}
-				if ok {
-					clique = append(clique, w)
-					covered[w] = true
+			}
+		} else {
+			// Baseline: extensions in index order. cand shrinks as members
+			// join, so testing membership in the running intersection is the
+			// adjacent-to-all-members check.
+			for w := 0; w < n; w++ {
+				if cand[w/64]&(1<<uint(w%64)) == 0 {
+					continue
+				}
+				sc.cliqueBuf = append(sc.cliqueBuf, w)
+				covered[w/64] |= 1 << uint(w%64)
+				row = adj[w*words : (w+1)*words]
+				for i := 0; i < words; i++ {
+					cand[i] &= row[i] &^ covered[i]
 				}
 			}
 		}
-		cliques = append(cliques, clique)
+		sc.cliqueEnds = append(sc.cliqueEnds, len(sc.cliqueBuf))
 	}
-	return cliques, edges
+	sc.cliques = sc.cliques[:0]
+	start := 0
+	for _, end := range sc.cliqueEnds {
+		sc.cliques = append(sc.cliques, sc.cliqueBuf[start:end:end])
+		start = end
+	}
+	return sc.cliques, edges, pruned
 }
 
 // RebuildWithReplacements reconstructs [f, c] after level matching:
@@ -346,7 +674,13 @@ func tsmCliqueCover(m *bdd.Manager, pairs []LevelPair, optimized bool) ([][]int,
 // and above level i is rebuilt node by node. The result is an i-cover of
 // the input.
 func RebuildWithReplacements(m *bdd.Manager, in ISF, i bdd.Var, repl map[ISF]ISF) ISF {
-	r := &rebuilder{m: m, level: int32(i), repl: repl, memo: make(map[ISF]ISF)}
+	var memo isfMap
+	memo.reset(0)
+	return rebuildWithReplacements(m, in, i, repl, &memo)
+}
+
+func rebuildWithReplacements(m *bdd.Manager, in ISF, i bdd.Var, repl map[ISF]ISF, memo *isfMap) ISF {
+	r := &rebuilder{m: m, level: int32(i), repl: repl, memo: memo}
 	return r.rebuild(in)
 }
 
@@ -354,7 +688,7 @@ type rebuilder struct {
 	m     *bdd.Manager
 	level int32
 	repl  map[ISF]ISF
-	memo  map[ISF]ISF
+	memo  *isfMap
 }
 
 func (r *rebuilder) rebuild(in ISF) ISF {
@@ -369,7 +703,7 @@ func (r *rebuilder) rebuild(in ISF) ISF {
 		}
 		return in
 	}
-	if out, ok := r.memo[in]; ok {
+	if out, ok := r.memo.get(in); ok {
 		return out
 	}
 	fT, fE := branchAt(r.m, in.F, top)
@@ -380,7 +714,7 @@ func (r *rebuilder) rebuild(in ISF) ISF {
 		F: r.m.MkNode(bdd.Var(top), tr.F, er.F),
 		C: r.m.MkNode(bdd.Var(top), tr.C, er.C),
 	}
-	r.memo[in] = out
+	r.memo.put(in, out)
 	return out
 }
 
@@ -405,15 +739,24 @@ func MinimizeAtLevel(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int)
 // layer: the matching graph built over the collected pairs (Section 3.3)
 // and how much of it was used. Cliques counts the non-singleton cliques of
 // the TSM cover and is zero for OSM, where the DMG is solved exactly.
+// Pruned counts the candidate pairs rejected by the semantic-signature
+// filter before any match kernel ran (pruning changes cost, never edges).
 type LevelMatchStats struct {
-	Pairs, Edges, Cliques, Replaced int
+	Pairs, Edges, Cliques, Replaced, Pruned int
 }
 
 // MinimizeAtLevelStats is MinimizeAtLevel with the matching-graph
 // statistics of the round. Batched runs (limit > 0) accumulate edge and
 // clique counts across batches.
 func MinimizeAtLevelStats(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int) (ISF, LevelMatchStats) {
-	pairs := CollectLevelPairs(m, in, i, 0)
+	sc := lvScratchPool.Get().(*lvScratch)
+	out, stats := minimizeAtLevel(m, in, i, cr, limit, sc)
+	lvScratchPool.Put(sc)
+	return out, stats
+}
+
+func minimizeAtLevel(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int, sc *lvScratch) (ISF, LevelMatchStats) {
+	pairs := collectLevelPairs(m, in, i, 0, sc)
 	stats := LevelMatchStats{Pairs: len(pairs)}
 	if len(pairs) < 2 {
 		return in, stats
@@ -421,21 +764,26 @@ func MinimizeAtLevelStats(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit
 	solve := func(batch []LevelPair) map[ISF]ISF {
 		switch cr {
 		case OSM:
-			repl, edges := solveOSMLevel(m, batch)
+			repl, edges, pruned := solveOSMLevel(m, batch)
 			stats.Edges += edges
+			stats.Pruned += pruned
 			return repl
 		case TSM:
-			repl, edges, cliques := solveTSMLevel(m, batch)
+			repl, edges, cliques, pruned := solveTSMLevel(m, batch, sc)
 			stats.Edges += edges
 			stats.Cliques += cliques
+			stats.Pruned += pruned
 			return repl
 		}
 		panic("core: level matching supports OSM and TSM")
 	}
-	repl := make(map[ISF]ISF)
+	var repl map[ISF]ISF
 	if limit <= 0 || len(pairs) <= limit {
 		repl = solve(pairs)
 	} else {
+		// Batched mode merges per-batch maps; solve reuses sc.repl per
+		// batch, so the merge target must be a separate map.
+		repl = make(map[ISF]ISF)
 		for start := 0; start < len(pairs); start += limit {
 			end := start + limit
 			if end > len(pairs) {
@@ -450,7 +798,8 @@ func MinimizeAtLevelStats(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit
 	if len(repl) == 0 {
 		return in, stats
 	}
-	return RebuildWithReplacements(m, in, i, repl), stats
+	sc.memo.reset(sc.memo.used)
+	return rebuildWithReplacements(m, in, i, repl, &sc.memo), stats
 }
 
 // OptLv is the level-matching heuristic evaluated in the paper ("opt_lv"):
@@ -487,21 +836,24 @@ func (o *OptLv) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 		cr = OSM
 	}
 	cur := ISF{f, c}
+	sc := lvScratchPool.Get().(*lvScratch) // one scratch serves every level
+	defer lvScratchPool.Put(sc)
 	for i := 0; i < m.NumVars(); i++ {
 		if cur.C == bdd.One || cur.F.IsConst() {
 			break
 		}
 		if o.Trace == nil {
-			cur, _ = MinimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit)
+			cur, _ = minimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit, sc)
 			continue
 		}
 		start := time.Now()
 		var stats LevelMatchStats
-		cur, stats = MinimizeAtLevelStats(m, cur, bdd.Var(i), cr, o.Limit)
+		cur, stats = minimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit, sc)
 		o.Trace.Emit(obs.LevelMatchEvent{
 			Level: i, Criterion: cr.String(),
 			Pairs: stats.Pairs, Edges: stats.Edges, Cliques: stats.Cliques,
-			Replaced: stats.Replaced, Duration: time.Since(start),
+			Replaced: stats.Replaced, Pruned: stats.Pruned,
+			Duration: time.Since(start),
 		})
 	}
 	return cur.F

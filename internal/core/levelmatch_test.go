@@ -66,6 +66,111 @@ func TestPairDistanceSiblingsIsOne(t *testing.T) {
 	}
 }
 
+func TestCollectLevelPairsSignatures(t *testing.T) {
+	rng := newRand(310)
+	m := bdd.New(6)
+	in := randISF(rng, m, 6)
+	pairs := CollectLevelPairs(m, in, 2, 0)
+	if len(pairs) == 0 {
+		t.Skip("no pairs collected")
+	}
+	for i, p := range pairs {
+		if p.FSig != m.Signature(p.F) || p.CSig != m.Signature(p.C) {
+			t.Fatalf("pair %d carries stale signatures", i)
+		}
+	}
+}
+
+// The signature filter is a necessary condition: it must never reject a
+// pair the criterion matches.
+func TestSignaturePruningSound(t *testing.T) {
+	rng := newRand(311)
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		pairs := CollectLevelPairs(m, in, bdd.Var(rng.Intn(n-1)), 0)
+		for j := range pairs {
+			for k := range pairs {
+				if j == k {
+					continue
+				}
+				a, b := pairs[j], pairs[k]
+				if OSM.Matches(m, a.ISF, b.ISF) && !bdd.SigMatchOSM(a.FSig, a.CSig, b.FSig, b.CSig) {
+					t.Fatalf("trial %d: OSM filter rejected true match (%d,%d)", trial, j, k)
+				}
+				if TSM.Matches(m, a.ISF, b.ISF) && !bdd.SigMatchTSM(a.FSig, a.CSig, b.FSig, b.CSig) {
+					t.Fatalf("trial %d: TSM filter rejected true match (%d,%d)", trial, j, k)
+				}
+			}
+		}
+	}
+}
+
+// Pruning changes cost, never results: solving with signatures filled must
+// produce exactly the replacement maps of solving with pruning disabled
+// (all-zero signatures pass every filter).
+func TestSignaturePruningPreservesResults(t *testing.T) {
+	rng := newRand(312)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(3)
+		m := bdd.New(n)
+		in := randISF(rng, m, n)
+		pairs := CollectLevelPairs(m, in, bdd.Var(rng.Intn(n-1)), 0)
+		if len(pairs) < 2 {
+			continue
+		}
+		unpruned := make([]LevelPair, len(pairs))
+		copy(unpruned, pairs)
+		for i := range unpruned {
+			unpruned[i].FSig, unpruned[i].CSig = 0, 0
+		}
+		osmA := SolveOSMLevel(m, pairs)
+		osmB := SolveOSMLevel(m, unpruned)
+		if len(osmA) != len(osmB) {
+			t.Fatalf("trial %d: OSM replacements differ: %d vs %d", trial, len(osmA), len(osmB))
+		}
+		for from, to := range osmA {
+			if osmB[from] != to {
+				t.Fatalf("trial %d: OSM replacement for %v differs", trial, from)
+			}
+		}
+		tsmA := SolveTSMLevel(m, pairs)
+		tsmB := SolveTSMLevel(m, unpruned)
+		if len(tsmA) != len(tsmB) {
+			t.Fatalf("trial %d: TSM replacements differ: %d vs %d", trial, len(tsmA), len(tsmB))
+		}
+		for from, to := range tsmA {
+			if tsmB[from] != to {
+				t.Fatalf("trial %d: TSM replacement for %v differs", trial, from)
+			}
+		}
+	}
+}
+
+func BenchmarkMinimizeAtLevelTSM(b *testing.B) {
+	rng := newRand(313)
+	m := bdd.New(12)
+	in := randISF(rng, m, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FlushCaches()
+		MinimizeAtLevel(m, in, 5, TSM, 0)
+	}
+}
+
+func BenchmarkOptLv(b *testing.B) {
+	rng := newRand(314)
+	m := bdd.New(12)
+	in := randISF(rng, m, 12)
+	o := &OptLv{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FlushCaches()
+		o.Minimize(m, in.F, in.C)
+	}
+}
+
 func TestSolveOSMLevelSinks(t *testing.T) {
 	// Proposition 10: the number of i-covers equals the number of sinks
 	// of the DMG, and every replaced pair osm-matches its replacement.

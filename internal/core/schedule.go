@@ -98,7 +98,8 @@ func (s *Scheduler) lvStep(m *bdd.Manager, cur ISF, cr Criterion, i int) ISF {
 	s.Trace.Emit(obs.LevelMatchEvent{
 		Level: i, Criterion: cr.String(),
 		Pairs: stats.Pairs, Edges: stats.Edges, Cliques: stats.Cliques,
-		Replaced: stats.Replaced, Duration: time.Since(start),
+		Replaced: stats.Replaced, Pruned: stats.Pruned,
+		Duration: time.Since(start),
 	})
 	return out
 }

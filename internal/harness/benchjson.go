@@ -55,9 +55,11 @@ func HeuristicSummaries(mt *obs.Metrics) []HeuristicSummary {
 // BenchReport is the top-level BENCH_kernel.json document. Successive PRs
 // append comparable reports, so the schema carries enough environment to
 // interpret the numbers (worker count, GOMAXPROCS, timestamp). Schema /2
-// added the per-heuristic breakdown of the sequential suite sweep.
+// added the per-heuristic breakdown of the sequential suite sweep; /3 added
+// the match-kernel and level-match micro-benchmarks (micro/osm_match,
+// micro/tsm_match, micro/levelmatch).
 type BenchReport struct {
-	Schema     string             `json:"schema"` // "bddmin-bench-kernel/2"
+	Schema     string             `json:"schema"` // "bddmin-bench-kernel/3"
 	Timestamp  time.Time          `json:"timestamp"`
 	GoMaxProcs int                `json:"gomaxprocs"`
 	Workers    int                `json:"workers"`
@@ -66,7 +68,7 @@ type BenchReport struct {
 }
 
 // BenchReportSchema identifies the BENCH_kernel.json layout version.
-const BenchReportSchema = "bddmin-bench-kernel/2"
+const BenchReportSchema = "bddmin-bench-kernel/3"
 
 // WriteBenchJSON emits the report as indented JSON.
 func WriteBenchJSON(w io.Writer, r BenchReport) error {

@@ -65,6 +65,7 @@ type (
 		Edges     int    `json:"edges"`
 		Cliques   int    `json:"cliques"`
 		Replaced  int    `json:"replaced"`
+		Pruned    int    `json:"pruned"`
 		Ns        int64  `json:"ns,omitempty"`
 	}
 	wireCacheOp struct {
@@ -123,7 +124,8 @@ func (s *JSONL) Emit(ev Event) {
 	case LevelMatchEvent:
 		w := wireLevelMatch{
 			Ev: e.Kind(), Level: e.Level, Criterion: e.Criterion,
-			Pairs: e.Pairs, Edges: e.Edges, Cliques: e.Cliques, Replaced: e.Replaced,
+			Pairs: e.Pairs, Edges: e.Edges, Cliques: e.Cliques,
+			Replaced: e.Replaced, Pruned: e.Pruned,
 		}
 		if s.Timings {
 			w.Ns = e.Duration.Nanoseconds()

@@ -84,6 +84,7 @@ type LevelMatchEvent struct {
 	Edges     int    // matching-graph edges
 	Cliques   int    // cliques in the TSM cover (0 for OSM)
 	Replaced  int    // pairs replaced by an i-cover
+	Pruned    int    // candidate pairs rejected by the signature filter
 	Duration  time.Duration
 }
 

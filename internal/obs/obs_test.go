@@ -92,7 +92,7 @@ func TestJSONLAllEventKinds(t *testing.T) {
 	events := []Event{
 		WindowEvent{Phase: "open", Lo: 0, Hi: 3, FSize: 10, CSize: 4},
 		HeuristicEvent{Name: "osm_bt", Criterion: "osm", InSize: 10, OutSize: 7, Matches: 2, Accepted: true, Duration: time.Millisecond},
-		LevelMatchEvent{Level: 2, Criterion: "tsm", Pairs: 5, Edges: 4, Cliques: 2, Replaced: 3, Duration: time.Millisecond},
+		LevelMatchEvent{Level: 2, Criterion: "tsm", Pairs: 5, Edges: 4, Cliques: 2, Replaced: 3, Pruned: 6, Duration: time.Millisecond},
 		CacheEvent{Scope: "osm_bt", Ops: []CacheOpStats{{Op: "ite", Hits: 1, Misses: 2, Evictions: 0}}},
 		GCEvent{Benchmark: "tlc", Live: 100, Runs: 2, NodesMade: 500},
 		BenchmarkEvent{Name: "tlc", Phase: "start"},

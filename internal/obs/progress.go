@@ -37,8 +37,8 @@ func (p *Progress) Emit(ev Event) {
 			e.Name, e.Criterion, e.InSize, e.OutSize, e.Matches,
 			verdict, e.Duration.Round(time.Microsecond))
 	case LevelMatchEvent:
-		fmt.Fprintf(p.w, "level %-3d  %s  %d pairs, %d edges, %d cliques, %d replaced (%s)\n",
-			e.Level, e.Criterion, e.Pairs, e.Edges, e.Cliques, e.Replaced,
+		fmt.Fprintf(p.w, "level %-3d  %s  %d pairs, %d edges, %d cliques, %d replaced, %d pruned (%s)\n",
+			e.Level, e.Criterion, e.Pairs, e.Edges, e.Cliques, e.Replaced, e.Pruned,
 			e.Duration.Round(time.Microsecond))
 	case GCEvent:
 		fmt.Fprintf(p.w, "gc: %d live nodes, %d runs, %d made\n", e.Live, e.Runs, e.NodesMade)
