@@ -10,6 +10,7 @@
 //
 //	bddmin -spec "d1 01 1d 01" [-heuristic osm_bt] [-all] [-exact] [-dot out.dot]
 //	       [-workers N] [-trace] [-trace-out trace.jsonl]
+//	       [-budget-nodes N] [-timeout D]
 //	bddmin -pla file.pla [-output K] ...
 //	bddmin -blif file.blif [-node NAME] ...
 //
@@ -31,6 +32,12 @@
 // per-heuristic metrics table after the run; -trace-out additionally
 // writes the event stream as JSONL. -cpuprofile/-memprofile write pprof
 // profiles.
+//
+// -budget-nodes and -timeout put each minimization under a kernel
+// resource budget: a run that trips its budget degrades gracefully to the
+// best valid intermediate cover (at worst f itself) and the report line is
+// annotated with the abort reason. Internal panics are caught at the top
+// level and reported with the offending input (exit status 2).
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/core"
@@ -49,7 +57,28 @@ import (
 	"bddmin/internal/obs"
 )
 
+// currentInput describes the instance being processed, for the top-level
+// panic report.
+var currentInput string
+
+// main only installs the crash handler: an internal panic (a kernel
+// invariant violation, a malformed instance that slipped past parsing)
+// becomes a short report naming the offending input instead of a raw
+// stack trace, with a distinct exit status.
 func main() {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "bddmin: internal error: %v\n", r)
+			if currentInput != "" {
+				fmt.Fprintf(os.Stderr, "bddmin: while processing %s\n", currentInput)
+			}
+			os.Exit(2)
+		}
+	}()
+	run()
+}
+
+func run() {
 	var (
 		spec       = flag.String("spec", "", "function in leaf notation, e.g. \"d1 01\"")
 		plaFile    = flag.String("pla", "", "read the instance from an espresso PLA file instead of -spec")
@@ -66,6 +95,8 @@ func main() {
 		traceTimes = flag.Bool("trace-timings", false, "include nanosecond durations in -trace-out (off keeps traces byte-deterministic)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		budgetN    = flag.Int("budget-nodes", 0, "abort a minimization beyond this many live BDD nodes, degrading to the best valid cover (0 = unbounded)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per minimization, e.g. 500ms (0 = none)")
 	)
 	flag.Parse()
 	if *spec == "" && *plaFile == "" && *blifFile == "" {
@@ -121,6 +152,7 @@ func main() {
 	)
 	switch {
 	case *plaFile != "":
+		currentInput = fmt.Sprintf("-pla %s -output %d", *plaFile, *plaOutput)
 		file, err := os.Open(*plaFile)
 		if err != nil {
 			fail(err)
@@ -133,6 +165,7 @@ func main() {
 		pla = parsed
 		n = pla.NumInputs
 	case *blifFile != "":
+		currentInput = fmt.Sprintf("-blif %s", *blifFile)
 		file, err := os.Open(*blifFile)
 		if err != nil {
 			fail(err)
@@ -150,10 +183,24 @@ func main() {
 		}
 		fmt.Printf("%s: node %q against its observability don't cares\n", net.Name, target.Name)
 	default:
+		currentInput = fmt.Sprintf("-spec %q", *spec)
 		clean := strings.ReplaceAll(strings.ReplaceAll(*spec, " ", ""), "\t", "")
 		for 1<<n < len(clean) {
 			n++
 		}
+	}
+	// mkBudget builds a fresh per-run kernel budget from the resource flags
+	// (budgets carry per-run counters, so they are never shared across
+	// workers); nil when no bound was requested keeps the unbudgeted path.
+	mkBudget := func() *bdd.Budget {
+		if *budgetN <= 0 && *timeout <= 0 {
+			return nil
+		}
+		b := &bdd.Budget{MaxLiveNodes: *budgetN}
+		if *timeout > 0 {
+			b.Deadline = time.Now().Add(*timeout)
+		}
+		return b
 	}
 	// rebuild constructs the instance on a fresh manager; the parallel path
 	// gives every worker its own (managers are single-goroutine).
@@ -195,12 +242,13 @@ func main() {
 	}
 
 	report := func(h core.Minimizer) bdd.Ref {
-		g := instrument(h, tracer).Minimize(m, in.F, in.C)
+		g, ab := core.MinimizeAnytime(instrument(h, tracer), m, in.F, in.C, mkBudget())
 		if !in.Cover(m, g) {
 			fmt.Fprintf(os.Stderr, "BUG: %s returned a non-cover\n", h.Name())
 			os.Exit(1)
 		}
-		fmt.Printf("  %-8s size %3d   %s\n", h.Name(), m.Size(g), core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n))
+		fmt.Printf("  %-8s size %3d   %s%s\n", h.Name(), m.Size(g),
+			core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n), degraded(ab))
 		return g
 	}
 
@@ -208,11 +256,11 @@ func main() {
 	haveResult := false
 	if *all {
 		if *workersN != 1 {
-			runAllParallel(rebuild, n, *workersN, tracer)
+			runAllParallel(rebuild, n, *workersN, tracer, mkBudget)
 			// The DOT export needs a Ref on the main manager; recompute the
 			// selected heuristic here (sizes are canonical either way).
 			if h := core.ByName(*heuristic); h != nil {
-				result = h.Minimize(m, in.F, in.C)
+				result, _ = core.MinimizeAnytime(h, m, in.F, in.C, mkBudget())
 				haveResult = true
 			}
 		} else {
@@ -269,6 +317,15 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// degraded renders the budget-abort annotation for a report line, empty
+// when the run completed within its budget.
+func degraded(ab core.AbortInfo) string {
+	if !ab.Aborted {
+		return ""
+	}
+	return fmt.Sprintf("  [degraded: budget %s at %s]", ab.Reason, ab.Phase)
 }
 
 // instrument connects a heuristic to the tracer. Minimizers that stream
@@ -360,7 +417,7 @@ func pickNode(net *logic.Network, name string) (*logic.Node, error) {
 // sequential report. Trace events are buffered per heuristic and replayed
 // into the tracer in registry order after all workers finish, so the
 // merged stream matches a sequential run's.
-func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers int, tracer obs.Tracer) {
+func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers int, tracer obs.Tracer, mkBudget func() *bdd.Budget) {
 	heus := core.Registry()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -392,14 +449,14 @@ func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers i
 					buffers[i] = &obs.Buffer{}
 					h = instrument(h, buffers[i])
 				}
-				g := h.Minimize(m, in.F, in.C)
+				g, ab := core.MinimizeAnytime(h, m, in.F, in.C, mkBudget())
 				if !in.Cover(m, g) {
 					results[i] = outcome{err: fmt.Errorf("BUG: %s returned a non-cover", h.Name())}
 					continue
 				}
 				results[i] = outcome{
 					size: m.Size(g),
-					text: core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n),
+					text: core.FormatSpec(m, core.ISF{F: g, C: bdd.One}, n) + degraded(ab),
 				}
 			}
 		}()

@@ -4,10 +4,12 @@
 //
 // Two families are recorded:
 //
-//   - micro: Support / Size / Density / SharedSize / ITE / Constrain / GC /
-//     OSM-match / TSM-match / level-match on a deterministic pool of random
-//     functions, via testing.Benchmark, with ns/op and allocs/op (the
-//     stamped traversals and match kernels must report 0 allocs/op);
+//   - micro: Support / Size / Density / SharedSize / ITE / budgeted ITE
+//     (micro/budget_overhead, the governance tax against micro/ite) /
+//     Constrain / GC / OSM-match / TSM-match / level-match on a
+//     deterministic pool of random functions, via testing.Benchmark, with
+//     ns/op and allocs/op (the stamped traversals and match kernels must
+//     report 0 allocs/op);
 //   - suite: one instrumented FSM self-equivalence sweep over the selected
 //     benchmarks, sequential and with the parallel worker pool, with
 //     NodesMade as the work measure.
@@ -252,6 +254,21 @@ func microBenches() []microBench {
 		}},
 		{"ite", func(b *testing.B) {
 			m, fs := pool(12, 64, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 0 {
+					m.FlushCaches()
+				}
+				m.ITE(fs[i%64], fs[(i+7)%64], fs[(i+13)%64])
+			}
+		}},
+		{"budget_overhead", func(b *testing.B) {
+			// Identical workload to micro/ite but with a generous (never
+			// firing) kernel budget attached: the delta against micro/ite is
+			// the cost of resource governance on the hottest path, tracked in
+			// the trajectory so it stays within the <2% target.
+			m, fs := pool(12, 64, 1)
+			m.SetBudget(&bdd.Budget{MaxNodesMade: 1 << 62})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if i%1024 == 0 {

@@ -9,8 +9,9 @@
 // Usage:
 //
 //	experiments [-bench s344,tlc,...] [-table N] [-figure N] [-summary]
-//	            [-iters N] [-maxnodes N] [-lbcubes N] [-validate] [-o FILE]
-//	            [-workers N] [-trace-dir DIR] [-cpuprofile FILE]
+//	            [-iters N] [-maxnodes N] [-timeout D] [-lbcubes N]
+//	            [-validate] [-o FILE] [-workers N] [-trace-dir DIR]
+//	            [-cpuprofile FILE]
 //
 // With -workers > 1 (0 = GOMAXPROCS) the benchmarks run on a worker pool,
 // one BDD manager per worker; tables and records are identical to a
@@ -25,6 +26,12 @@
 // deterministic regardless of worker count.
 //
 // With no selection flags, everything is produced.
+//
+// -maxnodes and -timeout are enforced inside the BDD kernels: a benchmark
+// that trips a bound reports an aborted (degraded) traversal instead of
+// running away, and the abort is recorded in the trace stream. Internal
+// panics are caught at the top level and reported with the benchmark
+// selection (exit status 2).
 package main
 
 import (
@@ -42,13 +49,29 @@ import (
 )
 
 func main() {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "experiments: internal error: %v\n", r)
+			sel := "(full suite)"
+			if f := flag.Lookup("bench"); f != nil && f.Value.String() != "" {
+				sel = f.Value.String()
+			}
+			fmt.Fprintf(os.Stderr, "experiments: while running benchmarks %s\n", sel)
+			os.Exit(2)
+		}
+	}()
+	run()
+}
+
+func run() {
 	var (
 		benchList = flag.String("bench", "", "comma-separated benchmark names (default: full suite)")
 		table     = flag.Int("table", 0, "produce only this table (1-4)")
 		figure    = flag.Int("figure", 0, "produce only this figure (3)")
 		summary   = flag.Bool("summary", false, "produce only the Section 4.2 summary")
 		iters     = flag.Int("iters", 64, "max BFS iterations per benchmark")
-		maxNodes  = flag.Int("maxnodes", 2_000_000, "abort a benchmark beyond this many live BDD nodes")
+		maxNodes  = flag.Int("maxnodes", 2_000_000, "abort a benchmark beyond this many live BDD nodes (enforced inside the kernels)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget per benchmark, e.g. 30s (0 = none)")
 		lbCubes   = flag.Int("lbcubes", 1000, "cube budget for the lower bound")
 		validate  = flag.Bool("validate", false, "verify every heuristic result is a cover")
 		extended  = flag.Bool("extended", false, "also run the extension heuristics (sched, robust)")
@@ -144,6 +167,7 @@ func main() {
 		Collector:     cfg,
 		MaxIterations: *iters,
 		MaxNodes:      *maxNodes,
+		Timeout:       *timeout,
 		Progress:      progress,
 		TraceDir:      *traceDir,
 		TraceTimings:  *traceTime,

@@ -9,9 +9,16 @@
 // image engine can be the constrained functional vector (default, as in
 // SIS) or clustered transition relations.
 //
+// Resource bounds (-maxnodes, -timeout, -iters) are enforced inside the
+// BDD kernels: a traversal that trips a bound stops mid-recursion, reports
+// a structured inconclusive verdict with the abort reason, and exits with
+// status 3. Internal panics are caught at the top level and reported with
+// the offending input (exit status 2).
+//
 // Usage:
 //
 //	verifyfsm -bench tlc [-minimize osm_bt] [-method fv|tr] [-iters N]
+//	          [-maxnodes N] [-timeout D]
 //	verifyfsm -a left.blif -b right.blif
 package main
 
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/circuits"
@@ -27,7 +35,24 @@ import (
 	"bddmin/internal/logic"
 )
 
+// currentInput describes the machines being checked, for the top-level
+// panic report.
+var currentInput string
+
 func main() {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "verifyfsm: internal error: %v\n", r)
+			if currentInput != "" {
+				fmt.Fprintf(os.Stderr, "verifyfsm: while checking %s\n", currentInput)
+			}
+			os.Exit(2)
+		}
+	}()
+	run()
+}
+
+func run() {
 	var (
 		bench    = flag.String("bench", "", "benchmark name to check against itself (see -list)")
 		list     = flag.Bool("list", false, "list benchmark names and exit")
@@ -36,7 +61,8 @@ func main() {
 		minimize = flag.String("minimize", "const", "frontier minimization heuristic")
 		method   = flag.String("method", "fv", "image engine: fv (functional vector) or tr (transition relation)")
 		iters    = flag.Int("iters", 0, "max BFS iterations (0 = unbounded)")
-		maxNodes = flag.Int("maxnodes", 0, "abort beyond this many live BDD nodes (0 = unbounded)")
+		maxNodes = flag.Int("maxnodes", 0, "abort beyond this many live BDD nodes (0 = unbounded; enforced inside the kernels)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the traversal, e.g. 30s (0 = none)")
 		trace    = flag.Bool("trace", false, "on inequivalence, print a distinguishing input sequence")
 	)
 	flag.Parse()
@@ -51,12 +77,14 @@ func main() {
 	var netA, netB *logic.Network
 	switch {
 	case *bench != "":
+		currentInput = fmt.Sprintf("-bench %s", *bench)
 		info, err := circuits.ByName(*bench)
 		if err != nil {
 			fail(err)
 		}
 		netA, netB = info.Build(), info.Build()
 	case *fileA != "" && *fileB != "":
+		currentInput = fmt.Sprintf("-a %s -b %s", *fileA, *fileB)
 		var err error
 		if netA, err = parseFile(*fileA); err != nil {
 			fail(err)
@@ -80,6 +108,9 @@ func main() {
 		Minimize: func(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 			return h.Minimize(m, f, c)
 		},
+	}
+	if *timeout > 0 {
+		opts.Deadline = time.Now().Add(*timeout)
 	}
 	switch *method {
 	case "fv":
@@ -111,6 +142,10 @@ func main() {
 		os.Exit(1)
 	}
 	if res.Aborted {
+		// Structured inconclusive report: the bound that fired, how far the
+		// traversal got, and the best reached-set size it holds.
+		fmt.Fprintf(os.Stderr, "verifyfsm: inconclusive: traversal aborted (%s) after %d iterations, %d-node reached set retained\n",
+			res.AbortReason, res.Iterations, m.Size(res.Reached))
 		os.Exit(3)
 	}
 }

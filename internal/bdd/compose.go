@@ -22,6 +22,10 @@ func (m *Manager) compose(f Ref, level int32, g Ref, op uint32) Ref {
 	if r, ok := m.cache.lookup(op, f, g, 0, 0); ok {
 		return r
 	}
+	// Budget check past the terminal cases and the cache hit; see ite.go.
+	if m.budget != nil {
+		m.budgetStep()
+	}
 	top := m.Level(f)
 	fT, fE := m.branches(f, top)
 	t := m.compose(fT, level, g, op)

@@ -34,6 +34,10 @@ func (m *Manager) constrain(f, c Ref) Ref {
 	if r, ok := m.cache.lookup(opConstrain, f, c, 0, 0); ok {
 		return r
 	}
+	// Budget check past the terminal cases and the cache hit; see ite.go.
+	if m.budget != nil {
+		m.budgetStep()
+	}
 	top := m.Level(f)
 	if l := m.Level(c); l < top {
 		top = l
@@ -82,6 +86,10 @@ func (m *Manager) restrict(f, c Ref) Ref {
 	}
 	if r, ok := m.cache.lookup(opRestrict, f, c, 0, 0); ok {
 		return r
+	}
+	// Budget check past the terminal cases and the cache hit; see ite.go.
+	if m.budget != nil {
+		m.budgetStep()
 	}
 	fl, cl := m.Level(f), m.Level(c)
 	var r Ref

@@ -84,3 +84,7 @@ func (m *Manager) GC(extra ...Ref) int {
 
 // GCRuns returns the number of garbage collections performed.
 func (m *Manager) GCRuns() int { return m.stGCRuns }
+
+// NumProtected returns the number of distinct protected roots. Tests use it
+// to assert that aborted minimization runs leak no protections.
+func (m *Manager) NumProtected() int { return len(m.roots) }

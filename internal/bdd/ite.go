@@ -89,6 +89,9 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 		}
 		return r
 	}
+	// No budget check here: every expanding ite step reaches mkNode within
+	// at most depth-many calls, and mkNode carries the check — the hottest
+	// recursion in the engine stays untouched (see budget.go).
 	top := m.Level(f)
 	if l := m.Level(g); l < top {
 		top = l

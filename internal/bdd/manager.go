@@ -39,6 +39,13 @@ type Manager struct {
 	sigMemo []sigEntry // per-node signature memo, valid where the entry's gen matches
 	sigGen  uint32     // current signature epoch; 0 is never valid
 
+	// Resource governance (see budget.go). budget is nil unless a caller
+	// attached one; every kernel recursion guards its budgetStep call on
+	// that nil check so the unbudgeted hot path pays a single branch.
+	budget          *Budget
+	budgetCountdown uint32 // steps until the next amortized limit check
+	budgetBaseMade  uint64 // stNodesMade when the budget was attached
+
 	// statistics
 	stGCRuns    int
 	stNodesMade uint64
@@ -203,6 +210,9 @@ func (m *Manager) checkRef(f Ref) {
 // (high edge never complemented), and hash-consing through the unique
 // table (merging rule).
 func (m *Manager) mkNode(level int32, high, low Ref) Ref {
+	if m.budget != nil {
+		m.budgetStep()
+	}
 	if high == low {
 		return high
 	}

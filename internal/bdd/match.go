@@ -83,6 +83,13 @@ func (m *Manager) xorCareZero(f, g, c Ref) bool {
 	if m.sigRefuteXor(f, g, c) {
 		return false
 	}
+	// The budget check sits past the constant exits and the signature
+	// refutation: most calls in a sig-pruned pair loop never reach it, so
+	// the unbudgeted kernels stay at their measured cost while real
+	// recursions remain cancellable.
+	if m.budget != nil {
+		m.budgetStep()
+	}
 	// Canonicalize: ⊕ is symmetric and invariant under complementing both
 	// operands, so order by node and strip f's complement bit.
 	if g.Regular() < f.Regular() {
@@ -146,6 +153,11 @@ func (m *Manager) xorProdZero(f, g, c1, c2 Ref) bool {
 	// outright; see xorCareZero.
 	if m.sigRefuteTSM(f, g, c1, c2) {
 		return false
+	}
+	// Budget check past the cheap exits and the signature filter; see
+	// xorCareZero.
+	if m.budget != nil {
+		m.budgetStep()
 	}
 	// Canonicalize both symmetric pairs. The degenerate (h, Zero) form is
 	// left alone: its XOR side is a single function whose phase matters.

@@ -105,6 +105,11 @@ func (m *Manager) disjoint(f, g Ref) bool {
 	if m.sigRefuteDisjoint(f, g) {
 		return false
 	}
+	// Budget check past the cheap exits and the signature filter; see
+	// xorCareZero in match.go.
+	if m.budget != nil {
+		m.budgetStep()
+	}
 	// Reuse the computed cache through an AND probe when available: a
 	// cached conjunction answers the question for free.
 	if r, ok := m.cacheAndProbe(f, g); ok {

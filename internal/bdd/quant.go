@@ -30,6 +30,10 @@ func (m *Manager) exists(f, cube Ref) Ref {
 	if r, ok := m.cache.lookup(opExists, f, cube, 0, 0); ok {
 		return r
 	}
+	// Budget check past the terminal cases and the cache hit; see ite.go.
+	if m.budget != nil {
+		m.budgetStep()
+	}
 	top := m.Level(f)
 	fT, fE := m.branches(f, top)
 	var r Ref
@@ -87,6 +91,10 @@ func (m *Manager) andExists(f, g, cube Ref) Ref {
 	}
 	if r, ok := m.cache.lookup(opAndExists, f, g, cube, 0); ok {
 		return r
+	}
+	// Budget check past the terminal cases and the cache hit; see ite.go.
+	if m.budget != nil {
+		m.budgetStep()
 	}
 	fT, fE := m.branches(f, top)
 	gT, gE := m.branches(g, top)

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bddmin/internal/bdd"
+)
+
+// anytimeDrivers returns fresh instances of every Anytime implementation.
+func anytimeDrivers() []Anytime {
+	return []Anytime{
+		NewSiblingHeuristic(OSM, true, true),
+		&OptLv{},
+		&Scheduler{},
+		&Scheduler{WindowSize: 2, SkipLevelMatching: true},
+		&Robust{OnsetThreshold: -1}, // always runs both strategies
+	}
+}
+
+// TestAnytimeDegradesToValidCover injects faults at a sweep of op counts
+// into every anytime driver and checks the full degradation contract:
+// valid cover, never larger than |f|, no leaked protections, reclaimable
+// garbage only, budget detached, manager reusable.
+func TestAnytimeDegradesToValidCover(t *testing.T) {
+	rng := newRand(11)
+	for _, h := range anytimeDrivers() {
+		m := bdd.New(8)
+		in := randISF(rng, m, 8)
+		m.Protect(in.F)
+		m.Protect(in.C)
+		m.GC()
+		baseline := m.NumNodes()
+		rootsBefore := m.NumProtected()
+		aborted := 0
+		for _, failAfter := range []uint64{1, 2, 3, 7, 25, 90, 400, 2000, 20000} {
+			g, info := h.MinimizeBudgeted(m, in.F, in.C, &bdd.Budget{FailAfter: failAfter})
+			if info.Aborted {
+				aborted++
+				if info.Err == nil || !errors.Is(info.Err, bdd.ErrBudgetExceeded) {
+					t.Fatalf("%s: aborted info carries wrong error: %v", h.Name(), info.Err)
+				}
+			}
+			requireCover(t, m, g, in, h.Name())
+			if m.Size(g) > m.Size(in.F) {
+				t.Fatalf("%s failAfter=%d: degraded result larger than f: %d > %d",
+					h.Name(), failAfter, m.Size(g), m.Size(in.F))
+			}
+			if info.BestSize != m.Size(g) {
+				t.Fatalf("%s: BestSize %d != actual %d", h.Name(), info.BestSize, m.Size(g))
+			}
+			if m.Budget() != nil {
+				t.Fatalf("%s: budget left attached after MinimizeBudgeted", h.Name())
+			}
+			if got := m.NumProtected(); got != rootsBefore {
+				t.Fatalf("%s failAfter=%d: protection leak: %d roots, want %d",
+					h.Name(), failAfter, got, rootsBefore)
+			}
+			m.GC()
+			if n := m.NumNodes(); n != baseline {
+				t.Fatalf("%s failAfter=%d: %d nodes after GC, want baseline %d",
+					h.Name(), failAfter, n, baseline)
+			}
+		}
+		if aborted == 0 {
+			t.Fatalf("%s: no fault injection point tripped; sweep too generous", h.Name())
+		}
+		// The manager must still minimize correctly with no budget.
+		g := h.Minimize(m, in.F, in.C)
+		requireCover(t, m, g, in, h.Name()+" after aborts")
+	}
+}
+
+// TestAnytimeWithoutBudgetDoesNotAbort runs every driver with a nil budget
+// (and none attached): the result must be a non-degraded cover.
+func TestAnytimeWithoutBudgetDoesNotAbort(t *testing.T) {
+	rng := newRand(13)
+	for _, h := range anytimeDrivers() {
+		m := bdd.New(7)
+		in := randISF(rng, m, 7)
+		g, info := h.MinimizeBudgeted(m, in.F, in.C, nil)
+		if info.Aborted {
+			t.Fatalf("%s: aborted with no budget: %+v", h.Name(), info)
+		}
+		requireCover(t, m, g, in, h.Name())
+		if m.Size(g) > m.Size(in.F) {
+			t.Fatalf("%s: unbudgeted anytime result larger than f", h.Name())
+		}
+	}
+}
+
+// plainMinimizer is a Minimizer that does not implement Anytime, for the
+// generic MinimizeAnytime fallback path.
+type plainMinimizer struct{}
+
+func (plainMinimizer) Name() string { return "plain_const" }
+func (plainMinimizer) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
+	return m.Constrain(f, c)
+}
+
+func TestMinimizeAnytimeGenericFallback(t *testing.T) {
+	rng := newRand(17)
+	m := bdd.New(8)
+	in := randISF(rng, m, 8)
+	// Generous budget: must match the plain run.
+	g, info := MinimizeAnytime(plainMinimizer{}, m, in.F, in.C, &bdd.Budget{MaxNodesMade: 1 << 40})
+	if info.Aborted {
+		t.Fatalf("generous budget aborted: %+v", info)
+	}
+	requireCover(t, m, g, in, "generic fallback")
+	// Immediate fault: must fall back to f itself. Flush first — a fully
+	// cache-hit replay does no real work and takes no budget steps.
+	m.FlushCaches()
+	g, info = MinimizeAnytime(plainMinimizer{}, m, in.F, in.C, &bdd.Budget{FailAfter: 1})
+	if !info.Aborted || info.Reason != string(bdd.AbortFault) {
+		t.Fatalf("expected fault abort, got %+v", info)
+	}
+	if g != in.F {
+		t.Fatal("non-anytime fallback must degrade to f itself")
+	}
+}
+
+// TestOptLvAbortKeepsCompletedLevels checks that the level driver resumes
+// from the last completed round rather than discarding all progress: with a
+// budget that allows some levels but not all, the result must still be a
+// cover (the i-cover chain property) and no larger than f.
+func TestOptLvAbortKeepsCompletedLevels(t *testing.T) {
+	rng := newRand(19)
+	m := bdd.New(9)
+	in := randISF(rng, m, 9)
+	o := &OptLv{}
+	full := o.Minimize(m, in.F, in.C)
+	fullSize := m.Size(full)
+	for failAfter := uint64(50); ; failAfter *= 4 {
+		g, info := o.MinimizeBudgeted(m, in.F, in.C, &bdd.Budget{FailAfter: failAfter})
+		requireCover(t, m, g, in, "opt_lv partial")
+		if !info.Aborted {
+			// The budgeted driver additionally clamps to |f| (Prop. 6 trick).
+			expected := fullSize
+			if fs := m.Size(in.F); expected > fs {
+				expected = fs
+			}
+			if m.Size(g) != expected {
+				t.Fatalf("unaborted budgeted run differs from plain: %d vs %d", m.Size(g), expected)
+			}
+			break
+		}
+	}
+}

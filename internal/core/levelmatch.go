@@ -743,6 +743,10 @@ func MinimizeAtLevel(m *bdd.Manager, in ISF, i bdd.Var, cr Criterion, limit int)
 // filter before any match kernel ran (pruning changes cost, never edges).
 type LevelMatchStats struct {
 	Pairs, Edges, Cliques, Replaced, Pruned int
+	// Aborted records that the round was cut short by a budget abort and
+	// its replacements were discarded (the anytime drivers keep the last
+	// completed round's i-cover instead).
+	Aborted bool
 }
 
 // MinimizeAtLevelStats is MinimizeAtLevel with the matching-graph

@@ -1,0 +1,89 @@
+package fsm
+
+import (
+	"context"
+	"testing"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/circuits"
+)
+
+// TestMaxNodesKernelBudget checks that the node bound now stops the
+// traversal inside the kernels (AbortReason "live-nodes") and that the
+// manager remains consistent and re-runnable afterwards.
+func TestMaxNodesKernelBudget(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(8)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := m.NumNodes() + 10
+	res := p.CheckEquivalence(Options{MaxNodes: limit})
+	if !res.Aborted {
+		t.Fatalf("expected abort under MaxNodes=%d: %+v", limit, res)
+	}
+	if res.AbortReason != string(bdd.AbortLiveNodes) {
+		t.Fatalf("AbortReason = %q, want %q", res.AbortReason, bdd.AbortLiveNodes)
+	}
+	if m.Budget() != nil {
+		t.Fatal("budget left attached after aborted traversal")
+	}
+	// The amortized check overshoots by at most one interval of node makes.
+	if m.NumNodes() > limit+1024 {
+		t.Fatalf("kernel budget did not stop the blowup: %d nodes against limit %d", m.NumNodes(), limit)
+	}
+	// Same product, same manager, no bound: must now complete cleanly.
+	m.GC(p.persistentRoots()...)
+	res = p.CheckEquivalence(Options{})
+	if !res.Equal || res.Aborted {
+		t.Fatalf("re-run after abort failed: %+v", res)
+	}
+	if int(res.ReachedStates) != 256 {
+		t.Fatalf("reached %v states, want 256", res.ReachedStates)
+	}
+}
+
+func TestContextCancelAbortsTraversal(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(6)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := p.CheckEquivalence(Options{Ctx: ctx})
+	if !res.Aborted || res.AbortReason != string(bdd.AbortContext) {
+		t.Fatalf("expected context abort: %+v", res)
+	}
+}
+
+func TestIterationAbortKeepsReason(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(6)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.CheckEquivalence(Options{MaxIterations: 3})
+	if !res.Aborted || res.Iterations != 3 || res.AbortReason != "iterations" {
+		t.Fatalf("expected iteration abort after 3: %+v", res)
+	}
+}
+
+func TestFindCounterexampleKernelBudget(t *testing.T) {
+	m := bdd.New(0)
+	net := circuits.Counter(8)
+	p, err := NewProduct(m, net, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, res := p.FindCounterexample(Options{MaxNodes: m.NumNodes() + 10})
+	if ce != nil {
+		t.Fatal("equivalent machines must not yield a counterexample")
+	}
+	if !res.Aborted || res.AbortReason != string(bdd.AbortLiveNodes) {
+		t.Fatalf("expected live-nodes abort: %+v", res)
+	}
+}

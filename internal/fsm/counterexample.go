@@ -68,34 +68,52 @@ func (p *Product) FindCounterexample(opts Options) (*Counterexample, Result) {
 		ce := p.extractTrace(rings, b)
 		return ce, res
 	}
+	if b := opts.budget(); b != nil {
+		prev := m.SetBudget(b)
+		defer m.SetBudget(prev)
+	}
 	for frontier != bdd.Zero {
 		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
 			res.Aborted = true
+			res.AbortReason = "iterations"
 			break
 		}
-		if opts.MaxNodes > 0 && m.NumNodes() > opts.MaxNodes {
+		// One BFS step under the kernel budget; see CheckEquivalence for
+		// why an abort leaves the protected sets (and here, the rings)
+		// valid.
+		var bad bdd.Ref = bdd.Zero
+		err := m.Budgeted(func() {
+			res.Iterations++
+			var img bdd.Ref
+			if opts.Method == TransitionRelation {
+				img = p.Image(frontier)
+			} else {
+				img = p.ImageFV(frontier, opts.OnConstrain)
+			}
+			newFrontier := m.AndNot(img, reached)
+			newReached := m.Or(reached, img)
+			m.Unprotect(reached)
+			m.Unprotect(frontier)
+			reached, frontier = newReached, newFrontier
+			m.Protect(reached)
+			m.Protect(frontier)
+			rings = append(rings, protect(frontier))
+			bad = badHere(frontier)
+		})
+		if err != nil {
 			res.Aborted = true
+			res.AbortReason = abortReason(err)
+			m.FlushCaches()
 			break
 		}
-		res.Iterations++
-		var img bdd.Ref
-		if opts.Method == TransitionRelation {
-			img = p.Image(frontier)
-		} else {
-			img = p.ImageFV(frontier, opts.OnConstrain)
-		}
-		newFrontier := m.AndNot(img, reached)
-		newReached := m.Or(reached, img)
-		m.Unprotect(reached)
-		m.Unprotect(frontier)
-		reached, frontier = newReached, newFrontier
-		m.Protect(reached)
-		m.Protect(frontier)
-		rings = append(rings, protect(frontier))
-		if b := badHere(frontier); b != bdd.Zero {
+		if bad != bdd.Zero {
 			res.Equal = false
 			res.Reached = reached
-			ce := p.extractTrace(rings, b)
+			// Extraction must not be cut short by the traversal budget: the
+			// counterexample is the whole point of the run, and its cost is
+			// bounded by the rings already built. Run it unbudgeted.
+			m.SetBudget(nil)
+			ce := p.extractTrace(rings, bad)
 			return ce, res
 		}
 	}

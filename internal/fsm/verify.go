@@ -1,7 +1,10 @@
 package fsm
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"bddmin/internal/bdd"
 )
@@ -41,11 +44,37 @@ type Options struct {
 	// MaxIterations bounds the BFS depth (0 = unbounded).
 	MaxIterations int
 	// MaxNodes aborts the traversal when the manager holds more than this
-	// many live nodes (0 = unbounded). The check result is then
-	// inconclusive and Result.Aborted is set.
+	// many live nodes (0 = unbounded). The limit is enforced inside the
+	// kernels via a bdd.Budget, so a single runaway image computation is
+	// stopped mid-recursion rather than after the step completes. The
+	// check result is then inconclusive and Result.Aborted is set.
 	MaxNodes int
+	// Deadline aborts the traversal once the wall clock passes it (zero =
+	// none). Enforced by the kernel budget alongside MaxNodes.
+	Deadline time.Time
+	// Ctx, when non-nil, cancels the traversal: the kernel budget polls it
+	// and aborts with Result.AbortReason "context" once it is canceled.
+	Ctx context.Context
 	// GCEvery runs a garbage collection every k iterations (0 = never).
 	GCEvery int
+}
+
+// budget builds the kernel budget implied by the options, or nil when no
+// kernel-level bound is requested.
+func (o Options) budget() *bdd.Budget {
+	if o.MaxNodes <= 0 && o.Ctx == nil && o.Deadline.IsZero() {
+		return nil
+	}
+	return &bdd.Budget{MaxLiveNodes: o.MaxNodes, Deadline: o.Deadline, Ctx: o.Ctx}
+}
+
+// abortReason maps a kernel abort to the Result.AbortReason string.
+func abortReason(err error) string {
+	var a *bdd.AbortError
+	if errors.As(err, &a) {
+		return string(a.Reason)
+	}
+	return err.Error()
 }
 
 // Result reports the outcome of an equivalence check or reachability run.
@@ -65,6 +94,10 @@ type Result struct {
 	MinimizeCalls int
 	// Aborted is set when a resource bound stopped the traversal early.
 	Aborted bool
+	// AbortReason says which bound stopped the traversal: "iterations" for
+	// MaxIterations, otherwise a bdd.AbortReason string ("live-nodes",
+	// "deadline", "context", ...). Empty when Aborted is false.
+	AbortReason string
 }
 
 // CheckEquivalence runs the breadth-first product traversal of Coudert et
@@ -92,46 +125,59 @@ func (p *Product) CheckEquivalence(opts Options) Result {
 		m.Unprotect(reached)
 		m.Unprotect(frontier)
 	}()
-	for frontier != bdd.Zero {
+	if b := opts.budget(); b != nil {
+		prev := m.SetBudget(b)
+		defer m.SetBudget(prev)
+	}
+	for frontier != bdd.Zero && res.Equal {
 		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
 			res.Aborted = true
+			res.AbortReason = "iterations"
 			break
 		}
-		if opts.MaxNodes > 0 && m.NumNodes() > opts.MaxNodes {
+		// One whole BFS step runs under the kernel budget. All kernel work
+		// happens before the protect swap, so an abort unwinds with the
+		// previous reached/frontier still protected and valid; the partial
+		// image is garbage for the next GC.
+		err := m.Budgeted(func() {
+			res.Iterations++
+			if s := m.Size(frontier); s > res.PeakFrontierSize {
+				res.PeakFrontierSize = s
+			}
+			// The EBM instance of the paper: f = U, c = U + ¬R. Covers are
+			// exactly the sets S with U ⊆ S ⊆ R-or-new, i.e. U ⊆ S ⊆ U ∪ R.
+			care := m.Or(frontier, reached.Not())
+			from := frontier
+			if care != bdd.One {
+				res.MinimizeCalls++
+				from = minimize(m, frontier, care)
+			}
+			var img bdd.Ref
+			if opts.Method == TransitionRelation {
+				img = p.Image(from)
+			} else {
+				img = p.ImageFV(from, opts.OnConstrain)
+			}
+			newFrontier := m.AndNot(img, reached)
+			newReached := m.Or(reached, img)
+			m.Unprotect(reached)
+			m.Unprotect(frontier)
+			reached, frontier = newReached, newFrontier
+			m.Protect(reached)
+			m.Protect(frontier)
+			if !m.Disjoint(reached, p.bad) {
+				res.Equal = false
+				return
+			}
+			if opts.GCEvery > 0 && res.Iterations%opts.GCEvery == 0 {
+				m.GC(p.persistentRoots()...)
+			}
+		})
+		if err != nil {
 			res.Aborted = true
+			res.AbortReason = abortReason(err)
+			m.FlushCaches()
 			break
-		}
-		res.Iterations++
-		if s := m.Size(frontier); s > res.PeakFrontierSize {
-			res.PeakFrontierSize = s
-		}
-		// The EBM instance of the paper: f = U, c = U + ¬R. Covers are
-		// exactly the sets S with U ⊆ S ⊆ R-or-new, i.e. U ⊆ S ⊆ U ∪ R.
-		care := m.Or(frontier, reached.Not())
-		from := frontier
-		if care != bdd.One {
-			res.MinimizeCalls++
-			from = minimize(m, frontier, care)
-		}
-		var img bdd.Ref
-		if opts.Method == TransitionRelation {
-			img = p.Image(from)
-		} else {
-			img = p.ImageFV(from, opts.OnConstrain)
-		}
-		newFrontier := m.AndNot(img, reached)
-		newReached := m.Or(reached, img)
-		m.Unprotect(reached)
-		m.Unprotect(frontier)
-		reached, frontier = newReached, newFrontier
-		m.Protect(reached)
-		m.Protect(frontier)
-		if !m.Disjoint(reached, p.bad) {
-			res.Equal = false
-			break
-		}
-		if opts.GCEvery > 0 && res.Iterations%opts.GCEvery == 0 {
-			m.GC(p.persistentRoots()...)
 		}
 	}
 	res.Reached = reached
@@ -175,10 +221,19 @@ func MinimizeTransitionRelation(m *bdd.Manager, T, reached bdd.Ref, hook Minimiz
 func (r Result) String() string {
 	verdict := "EQUIVALENT"
 	if !r.Equal {
+		// A difference inside the (under-approximate) reached set is a real
+		// difference, so DIFFERENT survives an abort.
 		verdict = "DIFFERENT"
+	} else if r.Aborted {
+		// No difference found, but the state space was not exhausted.
+		verdict = "INCONCLUSIVE"
 	}
 	if r.Aborted {
-		verdict += " (aborted)"
+		if r.AbortReason != "" {
+			verdict += fmt.Sprintf(" (aborted: %s)", r.AbortReason)
+		} else {
+			verdict += " (aborted)"
+		}
 	}
 	return fmt.Sprintf("%s after %d iterations, %.0f states reached, peak frontier %d nodes, %d minimize calls",
 		verdict, r.Iterations, r.ReachedStates, r.PeakFrontierSize, r.MinimizeCalls)

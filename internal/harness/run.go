@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/circuits"
@@ -19,8 +20,13 @@ type RunConfig struct {
 	// MaxIterations bounds each benchmark's BFS depth (default 64).
 	MaxIterations int
 	// MaxNodes aborts a benchmark when the manager exceeds this many live
-	// nodes (default 2,000,000).
+	// nodes (default 2,000,000). Enforced inside the kernels via a
+	// bdd.Budget, so a runaway image computation is stopped mid-recursion.
 	MaxNodes int
+	// Timeout bounds each benchmark's wall-clock time via the kernel
+	// budget (0 = none). An expired benchmark reports an aborted result
+	// instead of running away.
+	Timeout time.Duration
 	// GCEvery collects garbage every k iterations (default 1 — the
 	// instrumented heuristics generate a lot of transient nodes).
 	GCEvery int
@@ -90,16 +96,28 @@ func RunBenchmark(info circuits.BenchmarkInfo, col *Collector, rc RunConfig) (Be
 		tr.Emit(obs.BenchmarkEvent{Name: info.Name, Phase: "start"})
 	}
 	before := len(col.Records)
+	var deadline time.Time
+	if rc.Timeout > 0 {
+		deadline = time.Now().Add(rc.Timeout)
+	}
 	res := p.CheckEquivalence(fsm.Options{
 		Minimize:      col.Hook(),
 		OnConstrain:   col.Observer(),
 		Method:        fsm.FunctionalVector,
 		MaxIterations: rc.MaxIterations,
 		MaxNodes:      rc.MaxNodes,
+		Deadline:      deadline,
 		GCEvery:       rc.GCEvery,
 	})
 	if !res.Equal {
 		return BenchmarkRun{}, fmt.Errorf("harness: %s: self-equivalence failed (instrumentation bug)", info.Name)
+	}
+	if res.Aborted && tr != nil {
+		tr.Emit(obs.AbortEvent{
+			Benchmark: info.Name, Name: "traversal",
+			Reason: res.AbortReason, Phase: fmt.Sprintf("iteration %d", res.Iterations),
+			BestSize: m.Size(res.Reached),
+		})
 	}
 	if tr != nil {
 		tr.Emit(obs.GCEvent{Benchmark: info.Name, Live: m.NumNodes(), Runs: m.GCRuns(), NodesMade: m.NodesMade()})

@@ -66,6 +66,7 @@ type (
 		Cliques   int    `json:"cliques"`
 		Replaced  int    `json:"replaced"`
 		Pruned    int    `json:"pruned"`
+		Aborted   bool   `json:"aborted,omitempty"`
 		Ns        int64  `json:"ns,omitempty"`
 	}
 	wireCacheOp struct {
@@ -100,6 +101,14 @@ type (
 		COnsetPct float64 `json:"c_onset_pct"`
 		FSize     int     `json:"f_size"`
 	}
+	wireAbort struct {
+		Ev        string `json:"ev"`
+		Benchmark string `json:"benchmark,omitempty"`
+		Name      string `json:"name,omitempty"`
+		Reason    string `json:"reason"`
+		Phase     string `json:"phase,omitempty"`
+		BestSize  int    `json:"best_size"`
+	}
 )
 
 // Emit implements Tracer.
@@ -125,7 +134,7 @@ func (s *JSONL) Emit(ev Event) {
 		w := wireLevelMatch{
 			Ev: e.Kind(), Level: e.Level, Criterion: e.Criterion,
 			Pairs: e.Pairs, Edges: e.Edges, Cliques: e.Cliques,
-			Replaced: e.Replaced, Pruned: e.Pruned,
+			Replaced: e.Replaced, Pruned: e.Pruned, Aborted: e.Aborted,
 		}
 		if s.Timings {
 			w.Ns = e.Duration.Nanoseconds()
@@ -143,6 +152,8 @@ func (s *JSONL) Emit(ev Event) {
 		payload = wireBenchmark{Ev: e.Kind(), Name: e.Name, Phase: e.Phase}
 	case CallEvent:
 		payload = wireCall{Ev: e.Kind(), Benchmark: e.Benchmark, Call: e.Call, COnsetPct: e.COnsetPct, FSize: e.FSize}
+	case AbortEvent:
+		payload = wireAbort{Ev: e.Kind(), Benchmark: e.Benchmark, Name: e.Name, Reason: e.Reason, Phase: e.Phase, BestSize: e.BestSize}
 	default:
 		// Unknown event types are traced generically so a sink never
 		// silently drops data when the event set grows.
@@ -168,6 +179,7 @@ var knownKinds = map[string]bool{
 	GCEvent{}.Kind():         true,
 	BenchmarkEvent{}.Kind():  true,
 	CallEvent{}.Kind():       true,
+	AbortEvent{}.Kind():      true,
 }
 
 // ValidateJSONL replays a trace stream structurally: every line must be a

@@ -29,10 +29,12 @@ type Metrics struct {
 	order  []string
 
 	// Windows counts scheduler windows closed; LevelMatches counts level
-	// match rounds; Calls counts harness call events.
+	// match rounds; Calls counts harness call events; Aborts counts budget
+	// aborts (degraded anytime results).
 	Windows      int
 	LevelMatches int
 	Calls        int
+	Aborts       int
 	// CacheHits/CacheMisses accumulate over all cache snapshots.
 	CacheHits, CacheMisses uint64
 }
@@ -67,6 +69,8 @@ func (mt *Metrics) Emit(ev Event) {
 		mt.LevelMatches++
 	case CallEvent:
 		mt.Calls++
+	case AbortEvent:
+		mt.Aborts++
 	case CacheEvent:
 		for _, op := range e.Ops {
 			mt.CacheHits += op.Hits
@@ -95,6 +99,9 @@ func (mt *Metrics) Format(w io.Writer) {
 	}
 	if mt.Windows > 0 || mt.LevelMatches > 0 {
 		fmt.Fprintf(w, "windows: %d, level-match rounds: %d\n", mt.Windows, mt.LevelMatches)
+	}
+	if mt.Aborts > 0 {
+		fmt.Fprintf(w, "budget aborts (degraded results): %d\n", mt.Aborts)
 	}
 	if mt.CacheHits+mt.CacheMisses > 0 {
 		fmt.Fprintf(w, "computed cache: %d hits / %d misses (%.1f%% hit rate)\n",

@@ -85,6 +85,7 @@ type LevelMatchEvent struct {
 	Cliques   int    // cliques in the TSM cover (0 for OSM)
 	Replaced  int    // pairs replaced by an i-cover
 	Pruned    int    // candidate pairs rejected by the signature filter
+	Aborted   bool   // round cut short by a budget abort; result discarded
 	Duration  time.Duration
 }
 
@@ -143,6 +144,22 @@ type CallEvent struct {
 
 // Kind implements Event.
 func (CallEvent) Kind() string { return "call" }
+
+// AbortEvent reports a budget abort inside a minimization or traversal:
+// the resource-governance layer (bdd.Budget) stopped a kernel recursion and
+// the driver degraded to its best intermediate result. BestSize is the node
+// count of the cover actually returned (never larger than the input, by the
+// Proposition 6 comparison safeguard).
+type AbortEvent struct {
+	Benchmark string // harness benchmark name ("" outside the harness)
+	Name      string // heuristic or pipeline stage that aborted
+	Reason    string // bdd.AbortReason: live-nodes, nodes-made, deadline, context, fault
+	Phase     string // where in the driver the abort hit, e.g. "level 12", "window sib_osm"
+	BestSize  int    // node count of the degraded result returned
+}
+
+// Kind implements Event.
+func (AbortEvent) Kind() string { return "abort" }
 
 // Multi fans events out to every non-nil tracer, in order. It returns nil
 // when no tracer remains, preserving the "nil means disabled" convention
