@@ -1,0 +1,154 @@
+// Command bddload is the closed-loop load generator for bddmind: it
+// replays a mixed spec/PLA/BLIF corpus against a running server at a
+// target concurrency, verifies every returned cover client-side
+// (f·c ≤ g ≤ f + ¬c — the server is not trusted), honors 429 backpressure
+// by sleeping out the Retry-After hint, and emits BENCH_serve.json with
+// throughput, exact p50/p95/p99 latency and the degraded fraction.
+//
+// Usage:
+//
+//	bddload -corpus examples/corpus/mixed.txt [-addr http://localhost:8080]
+//	        [-n 500] [-c 8] [-heuristic osm_bt] [-timeout-ms 0]
+//	        [-budget-nodes 0] [-out BENCH_serve.json] [-no-verify]
+//
+// The corpus format is one instance per line: a leaf-notation spec, or
+// `@pla path [output]` / `@blif path [node]` file references resolved
+// relative to the corpus file (see internal/problem).
+//
+// Exit status: 1 on configuration or transport trouble, 2 if any response
+// failed the client-side cover check — an incorrect cover is a server
+// bug, not load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"bddmin/internal/harness"
+	"bddmin/internal/problem"
+	"bddmin/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "bddmind base URL")
+		corpus      = flag.String("corpus", "", "corpus file: one instance per line (spec, @pla, @blif)")
+		n           = flag.Int("n", 500, "total requests to complete")
+		c           = flag.Int("c", 8, "closed-loop concurrency (in-flight requests)")
+		heuristic   = flag.String("heuristic", "", "heuristic for every request (empty = server default)")
+		timeoutMs   = flag.Int("timeout-ms", 0, "per-request deadline forwarded to the server")
+		budgetNodes = flag.Uint64("budget-nodes", 0, "per-request node cap forwarded to the server")
+		out         = flag.String("out", "BENCH_serve.json", "report output path")
+		noVerify    = flag.Bool("no-verify", false, "skip the client-side cover check")
+		retries     = flag.Int("retries", 50, "max consecutive 429 retries per request")
+		wait        = flag.Duration("wait", 5*time.Second, "how long to wait for the server to become healthy")
+	)
+	flag.Parse()
+	if *corpus == "" {
+		flag.Usage()
+		os.Exit(1)
+	}
+	probs, err := problem.LoadCorpusFile(*corpus)
+	if err != nil {
+		fail(err)
+	}
+	// Size the connection pool to the concurrency: the default transport
+	// keeps only 2 idle conns per host, which throttles the offered load
+	// with per-request TCP handshakes.
+	client := &serve.Client{Base: *addr, HTTP: &http.Client{
+		Transport: &http.Transport{MaxIdleConns: *c + 4, MaxIdleConnsPerHost: *c + 4},
+	}}
+	if err := client.WaitHealthy(*wait); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bddload: %d requests over a %d-instance corpus, concurrency %d, verify=%v\n",
+		*n, len(probs), *c, !*noVerify)
+
+	stats, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		Client:      client,
+		Problems:    serve.Refs(probs, *heuristic),
+		Requests:    *n,
+		Concurrency: *c,
+		Heuristic:   *heuristic,
+		TimeoutMs:   *timeoutMs,
+		BudgetNodes: *budgetNodes,
+		Verify:      !*noVerify,
+		MaxRetries:  *retries,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	report := harness.ServeBenchReport{
+		Schema:           harness.ServeBenchSchema,
+		Timestamp:        time.Now().UTC(),
+		URL:              *addr,
+		CorpusSize:       len(probs),
+		Concurrency:      *c,
+		Requests:         stats.Requests,
+		DurationNs:       stats.Elapsed.Nanoseconds(),
+		ThroughputRPS:    stats.Throughput(),
+		P50Ns:            stats.Percentile(0.50).Nanoseconds(),
+		P95Ns:            stats.Percentile(0.95).Nanoseconds(),
+		P99Ns:            stats.Percentile(0.99).Nanoseconds(),
+		MaxNs:            stats.Percentile(1.0).Nanoseconds(),
+		Degraded:         stats.Degraded,
+		Rejected429:      stats.Rejected429,
+		Errors:           len(stats.Errors),
+		VerifyFailures:   len(stats.VerifyFails),
+		Verified:         !*noVerify,
+		ByFormat:         stats.ByFormat,
+		DegradedFraction: frac(stats.Degraded, stats.Requests),
+	}
+	if snap, err := client.Metrics(context.Background()); err == nil {
+		report.Shards = len(snap.Shards)
+		report.QueueCap = snap.QueueCap
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := harness.WriteServeJSON(f, report); err != nil {
+		f.Close()
+		fail(err)
+	}
+	f.Close()
+
+	fmt.Printf("bddload: %d completed in %s (%.1f req/s), p50 %s p95 %s p99 %s\n",
+		stats.Requests, stats.Elapsed.Round(time.Millisecond), stats.Throughput(),
+		stats.Percentile(0.50).Round(time.Microsecond),
+		stats.Percentile(0.95).Round(time.Microsecond),
+		stats.Percentile(0.99).Round(time.Microsecond))
+	fmt.Printf("bddload: degraded %d (%.1f%%), 429s absorbed %d, errors %d, verify failures %d\n",
+		stats.Degraded, 100*report.DegradedFraction, stats.Rejected429, len(stats.Errors), len(stats.VerifyFails))
+	fmt.Printf("bddload: report written to %s\n", *out)
+	for _, e := range stats.Errors {
+		fmt.Fprintf(os.Stderr, "bddload: error: %s\n", e)
+	}
+	for _, v := range stats.VerifyFails {
+		fmt.Fprintf(os.Stderr, "bddload: VERIFY FAIL: %s\n", v)
+	}
+	if len(stats.VerifyFails) > 0 {
+		os.Exit(2)
+	}
+	if stats.Requests < *n {
+		fmt.Fprintf(os.Stderr, "bddload: only %d of %d requests completed\n", stats.Requests, *n)
+		os.Exit(1)
+	}
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@
 //	       [-budget-nodes N] [-timeout D]
 //	bddmin -pla file.pla [-output K] ...
 //	bddmin -blif file.blif [-node NAME] ...
+//	bddmin -spec - < corpus.txt
 //
 // With -all, every registered heuristic plus the lower bound is reported;
 // with -exact (instances up to 20 don't-care minterms), the brute-force
@@ -26,6 +27,14 @@
 // don't-care set ([f, ¬ODC], the synthesis-side source of incompletely
 // specified functions). Without -node the first internal node with a
 // non-trivial ODC is chosen.
+//
+// With `-spec -`, instances are read from stdin in the shared corpus
+// format (see internal/problem): one per line, either a leaf-notation
+// spec or an `@pla path [output]` / `@blif path [node]` file reference
+// resolved against the working directory — the same files that drive the
+// bddload generator. Each instance is minimized on a fresh manager and
+// reported on one line (or one block with -all); -exact and -dot do not
+// apply in batch mode.
 //
 // -trace streams pipeline events (heuristic applications, schedule
 // windows, level-match rounds) live to stderr and prints the aggregated
@@ -47,14 +56,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"sync"
 	"time"
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/core"
-	"bddmin/internal/logic"
 	"bddmin/internal/obs"
+	"bddmin/internal/problem"
 )
 
 // currentInput describes the instance being processed, for the top-level
@@ -80,7 +88,7 @@ func main() {
 
 func run() {
 	var (
-		spec       = flag.String("spec", "", "function in leaf notation, e.g. \"d1 01\"")
+		spec       = flag.String("spec", "", "function in leaf notation, e.g. \"d1 01\"; \"-\" reads a corpus from stdin, one instance per line")
 		plaFile    = flag.String("pla", "", "read the instance from an espresso PLA file instead of -spec")
 		plaOutput  = flag.Int("output", 0, "which PLA output to minimize")
 		blifFile   = flag.String("blif", "", "read the instance from a BLIF netlist: minimize an internal node against its observability don't cares")
@@ -144,51 +152,6 @@ func run() {
 	}
 	tracer := obs.Multi(sinks...)
 
-	var (
-		pla    *logic.PLA
-		net    *logic.Network
-		target *logic.Node
-		n      int
-	)
-	switch {
-	case *plaFile != "":
-		currentInput = fmt.Sprintf("-pla %s -output %d", *plaFile, *plaOutput)
-		file, err := os.Open(*plaFile)
-		if err != nil {
-			fail(err)
-		}
-		parsed, err := logic.ParsePLA(file)
-		file.Close()
-		if err != nil {
-			fail(err)
-		}
-		pla = parsed
-		n = pla.NumInputs
-	case *blifFile != "":
-		currentInput = fmt.Sprintf("-blif %s", *blifFile)
-		file, err := os.Open(*blifFile)
-		if err != nil {
-			fail(err)
-		}
-		parsed, err := logic.ParseBLIF(file)
-		file.Close()
-		if err != nil {
-			fail(err)
-		}
-		net = parsed
-		n = net.PrimaryInputCount() + net.LatchCount()
-		target, err = pickNode(net, *nodeName)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("%s: node %q against its observability don't cares\n", net.Name, target.Name)
-	default:
-		currentInput = fmt.Sprintf("-spec %q", *spec)
-		clean := strings.ReplaceAll(strings.ReplaceAll(*spec, " ", ""), "\t", "")
-		for 1<<n < len(clean) {
-			n++
-		}
-	}
 	// mkBudget builds a fresh per-run kernel budget from the resource flags
 	// (budgets carry per-run counters, so they are never shared across
 	// workers); nil when no bound was requested keeps the unbudgeted path.
@@ -202,35 +165,20 @@ func run() {
 		}
 		return b
 	}
-	// rebuild constructs the instance on a fresh manager; the parallel path
-	// gives every worker its own (managers are single-goroutine).
-	rebuild := func() (*bdd.Manager, core.ISF, error) {
-		m := bdd.New(n)
-		switch {
-		case pla != nil:
-			vars := make([]bdd.Var, n)
-			for i := range vars {
-				vars[i] = bdd.Var(i)
-				if i < len(pla.InputNames) {
-					m.SetVarName(vars[i], pla.InputNames[i])
-				}
-			}
-			f, c, err := pla.OutputISF(m, vars, *plaOutput)
-			if err != nil {
-				return nil, core.ISF{}, err
-			}
-			return m, core.ISF{F: f, C: c}, nil
-		case net != nil:
-			f, c, err := logic.NodeISF(m, net, blifEnv(m, net), target)
-			if err != nil {
-				return nil, core.ISF{}, err
-			}
-			return m, core.ISF{F: f, C: c}, nil
+
+	if *spec == "-" {
+		runBatch(*heuristic, *all, tracer, mkBudget)
+		if metrics != nil {
+			fmt.Println()
+			metrics.Format(os.Stdout)
 		}
-		in, err := core.ParseSpec(m, *spec)
-		return m, in, err
+		return
 	}
-	m, in, err := rebuild()
+
+	prob := loadProblem(*spec, *plaFile, *plaOutput, *blifFile, *nodeName)
+	currentInput = prob.Label
+	n := prob.Vars
+	m, in, err := prob.NewManager()
 	if err != nil {
 		fail(err)
 	}
@@ -242,7 +190,7 @@ func run() {
 	}
 
 	report := func(h core.Minimizer) bdd.Ref {
-		g, ab := core.MinimizeAnytime(instrument(h, tracer), m, in.F, in.C, mkBudget())
+		g, ab := core.MinimizeAnytime(core.Instrument(h, tracer), m, in.F, in.C, mkBudget())
 		if !in.Cover(m, g) {
 			fmt.Fprintf(os.Stderr, "BUG: %s returned a non-cover\n", h.Name())
 			os.Exit(1)
@@ -256,7 +204,7 @@ func run() {
 	haveResult := false
 	if *all {
 		if *workersN != 1 {
-			runAllParallel(rebuild, n, *workersN, tracer, mkBudget)
+			runAllParallel(prob, n, *workersN, tracer, mkBudget)
 			// The DOT export needs a Ref on the main manager; recompute the
 			// selected heuristic here (sizes are canonical either way).
 			if h := core.ByName(*heuristic); h != nil {
@@ -314,6 +262,84 @@ func run() {
 	}
 }
 
+// loadProblem resolves the input flags into a parsed instance through the
+// shared loader (the same one the bddmind server and corpus files use).
+func loadProblem(spec, plaFile string, plaOutput int, blifFile, nodeName string) *problem.Problem {
+	switch {
+	case plaFile != "":
+		currentInput = fmt.Sprintf("-pla %s -output %d", plaFile, plaOutput)
+		src, err := os.ReadFile(plaFile)
+		if err != nil {
+			fail(err)
+		}
+		p, err := problem.ParsePLA(string(src), plaOutput, plaFile)
+		if err != nil {
+			fail(err)
+		}
+		return p
+	case blifFile != "":
+		currentInput = fmt.Sprintf("-blif %s", blifFile)
+		src, err := os.ReadFile(blifFile)
+		if err != nil {
+			fail(err)
+		}
+		p, err := problem.ParseBLIF(string(src), nodeName, blifFile)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: node %q against its observability don't cares\n", p.Network().Name, p.Node)
+		return p
+	}
+	currentInput = fmt.Sprintf("-spec %q", spec)
+	p, err := problem.FromSpec(spec)
+	if err != nil {
+		fail(err)
+	}
+	return p
+}
+
+// runBatch is `-spec -`: every stdin corpus line becomes one instance on a
+// fresh manager, reported compactly. With all=true the full registry runs
+// per instance (sequentially; batch throughput comes from the instance
+// stream, not per-instance parallelism).
+func runBatch(heuName string, all bool, tracer obs.Tracer, mkBudget func() *bdd.Budget) {
+	probs, err := problem.LoadCorpus(os.Stdin, ".")
+	if err != nil {
+		fail(err)
+	}
+	var heus []core.Minimizer
+	if all {
+		heus = core.Registry()
+	} else {
+		h := core.ByName(heuName)
+		if h == nil {
+			fmt.Fprintf(os.Stderr, "unknown heuristic %q\n", heuName)
+			os.Exit(1)
+		}
+		heus = []core.Minimizer{h}
+	}
+	for i, p := range probs {
+		currentInput = p.Label
+		m, in, err := p.NewManager()
+		if err != nil {
+			fail(err)
+		}
+		if g, ok := in.Trivial(m); ok {
+			fmt.Printf("%3d  %-36s trivial: constant %v\n", i, p.Label, g == bdd.One)
+			continue
+		}
+		for _, h := range heus {
+			g, ab := core.MinimizeAnytime(core.Instrument(h, tracer), m, in.F, in.C, mkBudget())
+			if !in.Cover(m, g) {
+				fmt.Fprintf(os.Stderr, "BUG: %s returned a non-cover on %s\n", h.Name(), p.Label)
+				os.Exit(1)
+			}
+			fmt.Printf("%3d  %-36s |f|=%4d  %-8s size %4d%s\n",
+				i, p.Label, m.Size(in.F), h.Name(), m.Size(g), degraded(ab))
+		}
+	}
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
@@ -328,96 +354,13 @@ func degraded(ab core.AbortInfo) string {
 	return fmt.Sprintf("  [degraded: budget %s at %s]", ab.Reason, ab.Phase)
 }
 
-// instrument connects a heuristic to the tracer. Minimizers that stream
-// their own events get their Trace field set — sibling heuristics emit
-// heuristic events with sibling-match counts themselves (wrapping them too
-// would double-count in the metrics table), while the scheduler and
-// opt_lv emit window/level-round events and still want the overall
-// summary event from the generic wrapper. Everything else is wrapped.
-func instrument(h core.Minimizer, tr obs.Tracer) core.Minimizer {
-	if tr == nil {
-		return h
-	}
-	switch t := h.(type) {
-	case *core.SiblingHeuristic:
-		t.Trace = tr
-		return h
-	case *core.Scheduler:
-		t.Trace = tr
-	case *core.OptLv:
-		t.Trace = tr
-	}
-	return core.Traced(h, tr)
-}
-
-// blifEnv binds the network's primary inputs and latch outputs (present-
-// state variables) to BDD variables, in declaration order — the same
-// binding the fsm compiler uses.
-func blifEnv(m *bdd.Manager, net *logic.Network) logic.Env {
-	env := logic.Env{}
-	v := 0
-	for _, in := range net.Inputs {
-		env[in] = m.MkVar(bdd.Var(v))
-		m.SetVarName(bdd.Var(v), in.Name)
-		v++
-	}
-	for _, l := range net.Latches {
-		env[l.Output] = m.MkVar(bdd.Var(v))
-		m.SetVarName(bdd.Var(v), l.Output.Name)
-		v++
-	}
-	return env
-}
-
-// pickNode resolves -node, or scans for the first internal node whose ODC
-// set is non-trivial (so the demo instance has real freedom to exploit).
-func pickNode(net *logic.Network, name string) (*logic.Node, error) {
-	internal := func(nd *logic.Node) bool {
-		return nd.Type != logic.Input && nd.Type != logic.Const
-	}
-	if name != "" {
-		for _, nd := range net.Nodes() {
-			if nd.Name == name {
-				if !internal(nd) {
-					return nil, fmt.Errorf("node %q is not an internal gate", name)
-				}
-				return nd, nil
-			}
-		}
-		return nil, fmt.Errorf("no node named %q in %s", name, net.Name)
-	}
-	scratch := bdd.New(net.PrimaryInputCount() + net.LatchCount())
-	env := blifEnv(scratch, net)
-	var first *logic.Node
-	for _, nd := range net.Nodes() {
-		if !internal(nd) {
-			continue
-		}
-		if first == nil {
-			first = nd
-		}
-		f, c, err := logic.NodeISF(scratch, net, env, nd)
-		if err != nil {
-			return nil, err
-		}
-		in := core.ISF{F: f, C: c}
-		if _, trivial := in.Trivial(scratch); !trivial && c != bdd.One {
-			return nd, nil
-		}
-	}
-	if first == nil {
-		return nil, fmt.Errorf("%s has no internal nodes", net.Name)
-	}
-	return first, nil // every ODC trivial; fall back to the first gate
-}
-
 // runAllParallel fans the registered heuristics out over a worker pool, one
 // fresh manager per heuristic run (managers are not goroutine-safe, so
 // nothing is shared). Results print in registry order, identical to the
 // sequential report. Trace events are buffered per heuristic and replayed
 // into the tracer in registry order after all workers finish, so the
 // merged stream matches a sequential run's.
-func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers int, tracer obs.Tracer, mkBudget func() *bdd.Budget) {
+func runAllParallel(prob *problem.Problem, n, workers int, tracer obs.Tracer, mkBudget func() *bdd.Budget) {
 	heus := core.Registry()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -439,7 +382,7 @@ func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers i
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				m, in, err := rebuild()
+				m, in, err := prob.NewManager()
 				if err != nil {
 					results[i] = outcome{err: err}
 					continue
@@ -447,7 +390,7 @@ func runAllParallel(rebuild func() (*bdd.Manager, core.ISF, error), n, workers i
 				h := heus[i]
 				if tracer != nil {
 					buffers[i] = &obs.Buffer{}
-					h = instrument(h, buffers[i])
+					h = core.Instrument(h, buffers[i])
 				}
 				g, ab := core.MinimizeAnytime(h, m, in.F, in.C, mkBudget())
 				if !in.Cover(m, g) {

@@ -24,6 +24,30 @@ func CriterionName(name string) string {
 	return ""
 }
 
+// Instrument connects a heuristic to a tracer, picking the right hook for
+// each minimizer shape. Minimizers that stream their own events get their
+// Trace field set — sibling heuristics emit heuristic events with
+// sibling-match counts themselves (wrapping them too would double-count in
+// the metrics table), while the scheduler and opt_lv emit window and
+// level-round events and still want the overall summary event from the
+// generic Traced wrapper. Everything else is wrapped. A nil tr returns h
+// unchanged.
+func Instrument(h Minimizer, tr obs.Tracer) Minimizer {
+	if tr == nil {
+		return h
+	}
+	switch t := h.(type) {
+	case *SiblingHeuristic:
+		t.Trace = tr
+		return h
+	case *Scheduler:
+		t.Trace = tr
+	case *OptLv:
+		t.Trace = tr
+	}
+	return Traced(h, tr)
+}
+
 // tracedMinimizer decorates a Minimizer with per-call event emission.
 type tracedMinimizer struct {
 	h  Minimizer

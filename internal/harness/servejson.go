@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// ServeBenchReport is the BENCH_serve.json document: one closed-loop load
+// run of bddload against a bddmind instance — the repo's end-to-end
+// serving benchmark, companion to the kernel-level BENCH_kernel.json.
+// Latency quantiles are exact, computed client-side from per-request
+// samples; DegradedFraction is the share of responses that came back via
+// the anytime path (budget abort → clamped valid cover).
+type ServeBenchReport struct {
+	Schema      string    `json:"schema"` // "bddmin-bench-serve/1"
+	Timestamp   time.Time `json:"timestamp"`
+	URL         string    `json:"url"`
+	Shards      int       `json:"shards,omitempty"` // from /metrics, when reachable
+	QueueCap    int       `json:"queue_cap,omitempty"`
+	CorpusSize  int       `json:"corpus_size"`
+	Concurrency int       `json:"concurrency"`
+	Requests    int       `json:"requests"` // completed requests
+	DurationNs  int64     `json:"duration_ns"`
+	// ThroughputRPS is completed requests per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ns         int64   `json:"p50_ns"`
+	P95Ns         int64   `json:"p95_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	MaxNs         int64   `json:"max_ns"`
+	// Degraded counts budget-tripped (still valid) covers; Rejected429
+	// counts backpressure rejections the closed loop absorbed by retry.
+	Degraded         int            `json:"degraded"`
+	DegradedFraction float64        `json:"degraded_fraction"`
+	Rejected429      int            `json:"rejected_429"`
+	Errors           int            `json:"errors"`
+	VerifyFailures   int            `json:"verify_failures"`
+	Verified         bool           `json:"verified"` // covers checked client-side
+	ByFormat         map[string]int `json:"by_format,omitempty"`
+}
+
+// ServeBenchSchema identifies the BENCH_serve.json layout version.
+const ServeBenchSchema = "bddmin-bench-serve/1"
+
+// WriteServeJSON emits the report as indented JSON.
+func WriteServeJSON(w io.Writer, r ServeBenchReport) error {
+	if r.Schema == "" {
+		r.Schema = ServeBenchSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -101,6 +101,18 @@ type (
 		COnsetPct float64 `json:"c_onset_pct"`
 		FSize     int     `json:"f_size"`
 	}
+	wireServe struct {
+		Ev        string `json:"ev"`
+		Phase     string `json:"phase"`
+		ID        uint64 `json:"id"`
+		Shard     int    `json:"shard"` // -1 before placement on a worker
+		Format    string `json:"format,omitempty"`
+		Heuristic string `json:"heuristic,omitempty"`
+		Queue     int    `json:"queue,omitempty"`
+		Status    int    `json:"status,omitempty"`
+		Reason    string `json:"reason,omitempty"`
+		Ns        int64  `json:"ns,omitempty"`
+	}
 	wireAbort struct {
 		Ev        string `json:"ev"`
 		Benchmark string `json:"benchmark,omitempty"`
@@ -154,6 +166,16 @@ func (s *JSONL) Emit(ev Event) {
 		payload = wireCall{Ev: e.Kind(), Benchmark: e.Benchmark, Call: e.Call, COnsetPct: e.COnsetPct, FSize: e.FSize}
 	case AbortEvent:
 		payload = wireAbort{Ev: e.Kind(), Benchmark: e.Benchmark, Name: e.Name, Reason: e.Reason, Phase: e.Phase, BestSize: e.BestSize}
+	case ServeEvent:
+		w := wireServe{
+			Ev: e.Kind(), Phase: e.Phase, ID: e.ID, Shard: e.Shard,
+			Format: e.Format, Heuristic: e.Heuristic, Queue: e.Queue,
+			Status: e.Status, Reason: e.Reason,
+		}
+		if s.Timings {
+			w.Ns = e.Duration.Nanoseconds()
+		}
+		payload = w
 	default:
 		// Unknown event types are traced generically so a sink never
 		// silently drops data when the event set grows.
@@ -180,6 +202,7 @@ var knownKinds = map[string]bool{
 	BenchmarkEvent{}.Kind():  true,
 	CallEvent{}.Kind():       true,
 	AbortEvent{}.Kind():      true,
+	ServeEvent{}.Kind():      true,
 }
 
 // ValidateJSONL replays a trace stream structurally: every line must be a

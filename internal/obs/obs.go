@@ -161,6 +161,27 @@ type AbortEvent struct {
 // Kind implements Event.
 func (AbortEvent) Kind() string { return "abort" }
 
+// ServeEvent reports one lifecycle transition of a minimization request in
+// the bddmind server: admission ("accepted" into the queue or "rejected"
+// with an HTTP status), execution on a shard ("started", then "finished",
+// with "degraded" in between when the request's budget tripped and the
+// anytime path returned a clamped cover). Queue is the bounded-queue depth
+// observed at the transition — the server's backpressure signal.
+type ServeEvent struct {
+	Phase     string // "accepted", "started", "degraded", "finished", "rejected"
+	ID        uint64 // server-assigned request id
+	Shard     int    // worker index (execution phases; -1 before placement)
+	Format    string // input format: "spec", "pla" or "blif"
+	Heuristic string
+	Queue     int    // queue depth at the transition
+	Status    int    // HTTP status (finished/rejected phases)
+	Reason    string // rejection cause or budget abort reason
+	Duration  time.Duration
+}
+
+// Kind implements Event.
+func (ServeEvent) Kind() string { return "serve" }
+
 // Multi fans events out to every non-nil tracer, in order. It returns nil
 // when no tracer remains, preserving the "nil means disabled" convention
 // at the call sites.

@@ -97,6 +97,8 @@ func TestJSONLAllEventKinds(t *testing.T) {
 		GCEvent{Benchmark: "tlc", Live: 100, Runs: 2, NodesMade: 500},
 		BenchmarkEvent{Name: "tlc", Phase: "start"},
 		CallEvent{Benchmark: "tlc", Call: 1, COnsetPct: 3.5, FSize: 42},
+		AbortEvent{Name: "opt_lv", Reason: "deadline", Phase: "level 3", BestSize: 12},
+		ServeEvent{Phase: "finished", ID: 7, Shard: 1, Format: "pla", Heuristic: "osm_bt", Queue: 2, Status: 200, Duration: time.Millisecond},
 	}
 	var buf bytes.Buffer
 	sink := NewJSONL(&buf)
@@ -135,6 +137,33 @@ func TestJSONLTimings(t *testing.T) {
 	}
 	if obj["ns"] != float64(1500) {
 		t.Fatalf("ns = %v, want 1500", obj["ns"])
+	}
+}
+
+// ValidateJSONL must accept the server's request-lifecycle events, and
+// empty optional fields must be omitted from the wire form (the PR 4
+// omitempty convention that keeps pre-serve golden traces byte-identical).
+func TestJSONLServeEvents(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.Emit(ServeEvent{Phase: "accepted", ID: 1, Shard: -1, Format: "spec", Queue: 3})
+	sink.Emit(ServeEvent{Phase: "rejected", ID: 2, Shard: -1, Status: 429, Reason: "queue full"})
+	sink.Emit(ServeEvent{Phase: "degraded", ID: 1, Shard: 0, Reason: "deadline"})
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 3 {
+		t.Fatalf("ValidateJSONL: n=%d err=%v", n, err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, absent := range []string{"status", "reason", "heuristic", "ns"} {
+		if strings.Contains(first, "\""+absent+"\"") {
+			t.Fatalf("accepted event carries empty field %q: %s", absent, first)
+		}
+	}
+	if !strings.Contains(first, "\"shard\":-1") {
+		t.Fatalf("unplaced event must keep shard -1: %s", first)
 	}
 }
 

@@ -1,0 +1,103 @@
+package problem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Corpus line format — the shared batch-input representation behind
+// `bddmin -spec -` and the bddload corpus flag. One instance per line:
+//
+//	# comment                        blank lines and #-comments are skipped
+//	d1 01 1d 01                      a leaf-notation spec
+//	@pla relative/path.pla [output]  a PLA file, optional output column
+//	@blif relative/path.blif [node]  a BLIF file, optional node name
+//
+// File references resolve relative to the corpus's base directory, and the
+// referenced file contents are inlined into the Problem's Raw field, so a
+// loaded corpus is self-contained: the load generator forwards Raw over
+// the wire and the server never touches the filesystem.
+
+// ParseLine parses one corpus line against baseDir. It returns (nil, nil)
+// for blank lines and comments.
+func ParseLine(line, baseDir string) (*Problem, error) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+		return nil, nil
+	}
+	if !strings.HasPrefix(trimmed, "@") {
+		return FromSpec(trimmed)
+	}
+	fields := strings.Fields(trimmed)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("problem: corpus line %q needs a file path", trimmed)
+	}
+	path := fields[1]
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(baseDir, path)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("problem: corpus line %q: %w", trimmed, err)
+	}
+	switch fields[0] {
+	case "@pla":
+		output := 0
+		if len(fields) > 2 {
+			if output, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("problem: corpus line %q: bad output column", trimmed)
+			}
+		}
+		return ParsePLA(string(src), output, fields[1])
+	case "@blif":
+		node := ""
+		if len(fields) > 2 {
+			node = fields[2]
+		}
+		return ParseBLIF(string(src), node, fields[1])
+	}
+	return nil, fmt.Errorf("problem: corpus line %q: unknown directive %s (want @pla or @blif)", trimmed, fields[0])
+}
+
+// LoadCorpus reads a corpus stream line by line. Errors name the offending
+// line number; an empty corpus is an error (a load run against it would
+// silently do nothing).
+func LoadCorpus(r io.Reader, baseDir string) ([]*Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []*Problem
+	line := 0
+	for sc.Scan() {
+		line++
+		p, err := ParseLine(sc.Text(), baseDir)
+		if err != nil {
+			return nil, fmt.Errorf("corpus line %d: %w", line, err)
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("problem: corpus is empty")
+	}
+	return out, nil
+}
+
+// LoadCorpusFile opens and reads a corpus file; file references resolve
+// relative to the file's directory.
+func LoadCorpusFile(path string) ([]*Problem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCorpus(f, filepath.Dir(path))
+}

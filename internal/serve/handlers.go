@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bddmin/internal/core"
+	"bddmin/internal/obs"
+	"bddmin/internal/problem"
+)
+
+// maxRequestBody bounds POST /minimize bodies (PLA/BLIF sources are text;
+// 8 MiB is far beyond any realistic netlist this engine can chew).
+const maxRequestBody = 8 << 20
+
+// Handler returns the service's HTTP mux: POST /minimize, GET /healthz,
+// GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/minimize", s.handleMinimize)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON emits one JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+// reject finishes an unadmitted request: counter, lifecycle event, error
+// body.
+func (s *Server) reject(w http.ResponseWriter, id uint64, status int, reason string, body ErrorResponse) {
+	s.emitServe(obs.ServeEvent{
+		Phase: "rejected", ID: id, Shard: -1, Status: status,
+		Reason: reason, Queue: len(s.queue),
+	})
+	writeJSON(w, status, body)
+}
+
+// handleMinimize is the admission path: parse, validate, map limits onto a
+// budget, try the bounded queue, then wait for the shard's response.
+func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	id := s.nextID.Add(1)
+	var req MinimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		s.counters.invalid.Add(1)
+		s.reject(w, id, http.StatusBadRequest, "bad-json", ErrorResponse{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return
+	}
+	prob, err := problem.Parse(problem.Kind(req.Format), req.Input, req.Output, req.Node)
+	if err != nil {
+		s.counters.invalid.Add(1)
+		s.reject(w, id, http.StatusBadRequest, "bad-instance", ErrorResponse{Error: err.Error()})
+		return
+	}
+	if prob.Vars > s.cfg.MaxVars {
+		s.counters.invalid.Add(1)
+		s.reject(w, id, http.StatusRequestEntityTooLarge, "too-large",
+			ErrorResponse{Error: fmt.Sprintf("instance has %d variables, server accepts at most %d", prob.Vars, s.cfg.MaxVars)})
+		return
+	}
+	name := req.Heuristic
+	if name == "" {
+		name = "osm_bt"
+	}
+	heu := core.ByName(name)
+	if heu == nil {
+		s.counters.invalid.Add(1)
+		s.reject(w, id, http.StatusBadRequest, "bad-heuristic", ErrorResponse{Error: fmt.Sprintf("unknown heuristic %q", name)})
+		return
+	}
+	t := &task{
+		id:       id,
+		prob:     prob,
+		heu:      heu,
+		trace:    req.Trace,
+		nodesCap: clampNodes(req.BudgetNodes, s.cfg.MaxNodesPerRequest),
+		deadline: s.deadlineFor(req.TimeoutMs),
+		ctx:      r.Context(),
+		enq:      time.Now(),
+		resp:     make(chan *MinimizeResponse, 1),
+	}
+	switch s.enqueue(t) {
+	case drainRefused:
+		s.counters.drainRejects.Add(1)
+		s.reject(w, id, http.StatusServiceUnavailable, "draining", ErrorResponse{Error: "server is draining"})
+		return
+	case queueFull:
+		s.counters.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		s.reject(w, id, http.StatusTooManyRequests, "queue-full",
+			ErrorResponse{Error: "queue full, retry later", RetryAfterMs: s.cfg.RetryAfter.Milliseconds()})
+		return
+	}
+	s.counters.accepted.Add(1)
+	s.emitServe(obs.ServeEvent{
+		Phase: "accepted", ID: id, Shard: -1,
+		Format: string(prob.Kind), Heuristic: name, Queue: len(s.queue),
+	})
+	resp := <-t.resp
+	if resp == nil {
+		// Either the client vanished before the shard picked the job up,
+		// or the job failed internally; the counters already know which.
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "minimization failed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clampNodes combines the request's node cap with the server-wide one:
+// the smaller nonzero bound wins.
+func clampNodes(req, server uint64) uint64 {
+	switch {
+	case server == 0:
+		return req
+	case req == 0 || req > server:
+		return server
+	}
+	return req
+}
+
+// deadlineFor maps timeout_ms onto an absolute deadline under the server's
+// default and clamp.
+func (s *Server) deadlineFor(timeoutMs int) time.Time {
+	d := time.Duration(timeoutMs) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+// retryAfterSeconds renders the Retry-After header (integer seconds,
+// minimum 1 — the JSON body carries the millisecond-precision hint).
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight work completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admit.RLock()
+	draining := s.draining
+	s.admit.RUnlock()
+	body := HealthResponse{
+		Status:     "ok",
+		Shards:     len(s.workers),
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+	}
+	status := http.StatusOK
+	if draining {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+// handleMetrics serves the operational snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"bddmin/internal/problem"
+)
+
+// TestShardIsolation is the confinement test, meant to run under -race:
+// many client goroutines hammer a multi-shard pool with a mixed corpus and
+// mixed heuristics. The race detector proves each bdd.Manager stays
+// confined to its worker goroutine; the assertions prove the shards agree —
+// BDD sizes are canonical, so the same instance minimized by the same
+// heuristic must report the same cover size no matter which shard ran it —
+// and that a drained pool leaks no protected nodes.
+func TestShardIsolation(t *testing.T) {
+	s, c := newTestServer(t, Config{Shards: 4, QueueDepth: 32})
+	type job struct {
+		prob *problem.Problem
+		heu  string
+	}
+	corpus := []*problem.Problem{
+		mustProblem(t, problem.KindSpec, testSpec, 0, ""),
+		mustProblem(t, problem.KindSpec, "11 dd 00 d0", 0, ""),
+		mustProblem(t, problem.KindSpec, "0d d1 d1 0d 1d d0 01 dd", 0, ""),
+		mustProblem(t, problem.KindPLA, testPLA, 0, ""),
+		mustProblem(t, problem.KindPLA, testPLA, 1, ""),
+		mustProblem(t, problem.KindBLIF, testBLIF, 0, ""),
+	}
+	heus := []string{"osm_bt", "osm_td", "tsm_cp", "sched", "restr"}
+	var jobs []job
+	for _, p := range corpus {
+		for _, h := range heus {
+			jobs = append(jobs, job{p, h})
+		}
+	}
+
+	const rounds = 4 // every (instance, heuristic) pair runs 4×, racing across shards
+	var (
+		mu       sync.Mutex
+		sizes    = map[string]map[int]bool{} // (label|heuristic) → cover sizes seen
+		shards   = map[int]bool{}
+		wg       sync.WaitGroup
+		failures []string
+	)
+	for r := 0; r < rounds; r++ {
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				req := RequestFor(j.prob, j.heu)
+				// The queue is deep enough for the whole burst, but retry
+				// 429s anyway so the test is insensitive to queue sizing.
+				var resp *MinimizeResponse
+				for {
+					var status int
+					var err error
+					resp, status, _, err = c.Minimize(context.Background(), req)
+					if err != nil {
+						mu.Lock()
+						failures = append(failures, err.Error())
+						mu.Unlock()
+						return
+					}
+					if status == http.StatusTooManyRequests {
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					if status != http.StatusOK {
+						mu.Lock()
+						failures = append(failures, fmt.Sprintf("%s/%s: HTTP %d", j.prob.Label, j.heu, status))
+						mu.Unlock()
+						return
+					}
+					break
+				}
+				if err := VerifyResponse(j.prob, resp); err != nil {
+					mu.Lock()
+					failures = append(failures, err.Error())
+					mu.Unlock()
+					return
+				}
+				key := j.prob.Label + "|" + j.heu
+				mu.Lock()
+				if sizes[key] == nil {
+					sizes[key] = map[int]bool{}
+				}
+				sizes[key][resp.CoverSize] = true
+				shards[resp.Shard] = true
+				mu.Unlock()
+			}(j)
+		}
+	}
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("%d failures, first: %s", len(failures), failures[0])
+	}
+	for key, seen := range sizes {
+		if len(seen) != 1 {
+			t.Errorf("%s: non-canonical cover sizes across shards: %v", key, seen)
+		}
+	}
+	if len(shards) < 2 {
+		t.Errorf("load landed on %d shard(s); want spread over at least 2", len(shards))
+	}
+
+	// Drain and inspect the private managers: a worker that protected nodes
+	// during a job and forgot to unprotect them would poison its shard's GC
+	// forever. After drain the goroutines are gone, so touching w.m is safe.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range s.workers {
+		if n := w.m.NumProtected(); n != 0 {
+			t.Errorf("shard %d leaks %d protected nodes after drain", w.id, n)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bddmin/internal/core"
+	"bddmin/internal/problem"
+)
+
+// hookGate turns cfg.hookStart into a synchronization point: every job
+// announces itself on entered, then blocks until release is closed. That
+// lets a test hold a shard mid-job deterministically — the only way to
+// observe queue-full and drain windows without sleeps.
+type hookGate struct {
+	entered chan uint64
+	release chan struct{}
+}
+
+func newHookGate() *hookGate {
+	return &hookGate{entered: make(chan uint64, 64), release: make(chan struct{})}
+}
+
+func (g *hookGate) hook(shard int, id uint64) {
+	g.entered <- id
+	<-g.release
+}
+
+// waitQueueLen polls the admission queue until it holds n tasks.
+func waitQueueLen(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length never reached %d (at %d)", n, len(s.queue))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueFullBackpressure fills the pool (one job on the shard, one in the
+// single queue slot) and checks that the next request is refused with 429,
+// a Retry-After header, and the millisecond hint in the body — then that the
+// two admitted jobs still complete correctly once the shard resumes.
+func TestQueueFullBackpressure(t *testing.T) {
+	gate := newHookGate()
+	s, c := newTestServer(t, Config{
+		Shards: 1, QueueDepth: 1, RetryAfter: 250 * time.Millisecond,
+		hookStart: gate.hook,
+	})
+	p := mustProblem(t, problem.KindSpec, testSpec, 0, "")
+	req := RequestFor(p, "osm_bt")
+
+	var wg sync.WaitGroup
+	results := make([]*MinimizeResponse, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = mustMinimize(t, c, req)
+		}(i)
+		if i == 0 {
+			<-gate.entered // shard is now held mid-job
+		} else {
+			waitQueueLen(t, s, 1) // second job parked in the queue
+		}
+	}
+
+	// Pool full: shard busy, queue full. The next request must bounce.
+	body, _ := json.Marshal(req)
+	res, err := c.HTTP.Post(c.Base+"/minimize", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb ErrorResponse
+	_ = json.NewDecoder(res.Body).Decode(&eb)
+	res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full pool answered %d, want 429", res.StatusCode)
+	}
+	if ra := res.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\" (250ms rounds up to 1s)", ra)
+	}
+	if eb.RetryAfterMs != 250 {
+		t.Fatalf("retry_after_ms = %d, want 250", eb.RetryAfterMs)
+	}
+
+	close(gate.release)
+	wg.Wait()
+	for i, resp := range results {
+		if resp == nil {
+			t.Fatalf("admitted request %d got no response", i)
+		}
+		if err := VerifyResponse(p, resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.counters.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestDrainFinishesInFlight starts a drain while one job is running and one
+// is queued: both must complete with valid covers, new requests must be
+// refused with 503, /healthz must degrade, and Drain must return once the
+// pool is idle.
+func TestDrainFinishesInFlight(t *testing.T) {
+	gate := newHookGate()
+	s, c := newTestServer(t, Config{Shards: 1, QueueDepth: 4, hookStart: gate.hook})
+	p := mustProblem(t, problem.KindSpec, testSpec, 0, "")
+	req := RequestFor(p, "osm_bt")
+
+	var wg sync.WaitGroup
+	results := make([]*MinimizeResponse, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = mustMinimize(t, c, req)
+		}(i)
+		if i == 0 {
+			<-gate.entered
+		} else {
+			waitQueueLen(t, s, 1)
+		}
+	}
+
+	drainErr := make(chan error, 1)
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer drainCancel()
+	go func() { drainErr <- s.Drain(drainCtx) }()
+
+	// Admission flips to draining immediately (Drain holds the write lock
+	// only briefly); wait for it to become observable.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, body, err := c.Healthz(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status == http.StatusServiceUnavailable && body.Status == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never reported draining (last: %d %+v)", status, body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, status, _, err := c.Minimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining server admitted a request (HTTP %d), want 503", status)
+	}
+
+	close(gate.release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	for i, resp := range results {
+		if resp == nil {
+			t.Fatalf("in-flight request %d lost during drain", i)
+		}
+		if err := VerifyResponse(p, resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.counters.drainRejects.Load(); got != 1 {
+		t.Fatalf("drain-reject counter = %d, want 1", got)
+	}
+}
+
+// TestCanceledClientSkipped checks that a job whose client disconnected
+// while queued is skipped at the shard, not executed. The task is injected
+// directly with an already-canceled context — the deterministic equivalent
+// of an HTTP client that hung up in the queue (cancellation propagation
+// through net/http is asynchronous, so driving this over a socket races).
+func TestCanceledClientSkipped(t *testing.T) {
+	s, _ := newTestServer(t, Config{Shards: 1})
+	p := mustProblem(t, problem.KindSpec, testSpec, 0, "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tk := &task{
+		id: 99, prob: p, heu: core.ByName("osm_bt"),
+		ctx: ctx, enq: time.Now(),
+		resp: make(chan *MinimizeResponse, 1),
+	}
+	if got := s.enqueue(tk); got != admitted {
+		t.Fatalf("enqueue = %v, want admitted", got)
+	}
+	if resp := <-tk.resp; resp != nil {
+		t.Fatalf("canceled task produced a response: %+v", resp)
+	}
+	if got := s.counters.canceled.Load(); got != 1 {
+		t.Fatalf("canceled counter = %d, want 1", got)
+	}
+	if got := s.counters.finished.Load(); got != 0 {
+		t.Fatalf("finished counter = %d, want 0", got)
+	}
+}
+
+// randSpec builds a deterministic pseudo-random leaf spec over n variables
+// (2^n symbols from {0,1,d}) — big enough that a minimization spends many
+// budget-check intervals.
+func randSpec(n int, seed uint64) string {
+	var b strings.Builder
+	x := seed
+	for i := 0; i < 1<<n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		switch (x >> 33) % 3 {
+		case 0:
+			b.WriteByte('0')
+		case 1:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('d')
+		}
+	}
+	return b.String()
+}
+
+// TestDeadlineDegrades sends a request whose deadline has already passed by
+// the time the shard picks it up (the hook sleeps it out): the response
+// must still be a valid cover — the anytime path clamps to the best
+// intermediate result, at worst f itself — annotated with the deadline
+// abort, never an error.
+func TestDeadlineDegrades(t *testing.T) {
+	s, c := newTestServer(t, Config{
+		Shards: 1, MaxVars: 16,
+		hookStart: func(shard int, id uint64) { time.Sleep(10 * time.Millisecond) },
+	})
+	p := mustProblem(t, problem.KindSpec, randSpec(12, 42), 0, "")
+	req := RequestFor(p, "osm_bt")
+	req.TimeoutMs = 1
+	resp := mustMinimize(t, c, req)
+	if resp.Trivial {
+		t.Fatalf("random instance unexpectedly trivial")
+	}
+	if !resp.Degraded {
+		t.Fatalf("expired deadline did not degrade: %+v", resp)
+	}
+	if resp.AbortReason != "deadline" {
+		t.Fatalf("abort reason = %q, want \"deadline\"", resp.AbortReason)
+	}
+	if resp.AbortPhase == "" {
+		t.Fatalf("degraded response missing abort phase")
+	}
+	if err := VerifyResponse(p, resp); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.counters.degraded.Load(); got != 1 {
+		t.Fatalf("degraded counter = %d, want 1", got)
+	}
+}
