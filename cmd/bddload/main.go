@@ -9,7 +9,12 @@
 //
 //	bddload -corpus examples/corpus/mixed.txt [-addr http://localhost:8080]
 //	        [-n 500] [-c 8] [-heuristic osm_bt] [-timeout-ms 0]
-//	        [-budget-nodes 0] [-out BENCH_serve.json] [-no-verify]
+//	        [-budget-nodes 0] [-dup 0] [-out BENCH_serve.json] [-no-verify]
+//
+// -dup redirects that fraction of requests to one hot instance, the
+// duplicate-heavy replay that exercises the server's result cache and
+// singleflight coalescing; the report embeds the server's final /metrics
+// snapshot so its cache counters ride along with the client-side numbers.
 //
 // The corpus format is one instance per line: a leaf-notation spec, or
 // `@pla path [output]` / `@blif path [node]` file references resolved
@@ -22,6 +27,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -42,6 +48,7 @@ func main() {
 		heuristic   = flag.String("heuristic", "", "heuristic for every request (empty = server default)")
 		timeoutMs   = flag.Int("timeout-ms", 0, "per-request deadline forwarded to the server")
 		budgetNodes = flag.Uint64("budget-nodes", 0, "per-request node cap forwarded to the server")
+		dup         = flag.Float64("dup", 0, "fraction of requests (0..1) redirected to one hot instance")
 		out         = flag.String("out", "BENCH_serve.json", "report output path")
 		noVerify    = flag.Bool("no-verify", false, "skip the client-side cover check")
 		retries     = flag.Int("retries", 50, "max consecutive 429 retries per request")
@@ -65,8 +72,11 @@ func main() {
 	if err := client.WaitHealthy(*wait); err != nil {
 		fail(err)
 	}
-	fmt.Printf("bddload: %d requests over a %d-instance corpus, concurrency %d, verify=%v\n",
-		*n, len(probs), *c, !*noVerify)
+	if *dup < 0 || *dup > 1 {
+		fail(fmt.Errorf("bddload: -dup must be in [0, 1], got %g", *dup))
+	}
+	fmt.Printf("bddload: %d requests over a %d-instance corpus, concurrency %d, dup %.0f%%, verify=%v\n",
+		*n, len(probs), *c, 100**dup, !*noVerify)
 
 	stats, err := serve.RunLoad(context.Background(), serve.LoadConfig{
 		Client:      client,
@@ -78,6 +88,7 @@ func main() {
 		BudgetNodes: *budgetNodes,
 		Verify:      !*noVerify,
 		MaxRetries:  *retries,
+		DupRate:     *dup,
 	})
 	if err != nil {
 		fail(err)
@@ -103,10 +114,19 @@ func main() {
 		Verified:         !*noVerify,
 		ByFormat:         stats.ByFormat,
 		DegradedFraction: frac(stats.Degraded, stats.Requests),
+		DupRate:          *dup,
+		CacheHits:        stats.CacheHits,
+		Coalesced:        stats.Coalesced,
+		CacheHitRate:     frac(stats.CacheHits+stats.Coalesced, stats.Requests),
 	}
+	// Embed the server's final /metrics snapshot: the authoritative
+	// admission and cache counters for the run the report describes.
 	if snap, err := client.Metrics(context.Background()); err == nil {
 		report.Shards = len(snap.Shards)
 		report.QueueCap = snap.QueueCap
+		if raw, err := json.Marshal(snap); err == nil {
+			report.Metrics = raw
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -125,6 +145,8 @@ func main() {
 		stats.Percentile(0.99).Round(time.Microsecond))
 	fmt.Printf("bddload: degraded %d (%.1f%%), 429s absorbed %d, errors %d, verify failures %d\n",
 		stats.Degraded, 100*report.DegradedFraction, stats.Rejected429, len(stats.Errors), len(stats.VerifyFails))
+	fmt.Printf("bddload: cache hits %d, coalesced %d (%.1f%% served without a fresh run)\n",
+		stats.CacheHits, stats.Coalesced, 100*report.CacheHitRate)
 	fmt.Printf("bddload: report written to %s\n", *out)
 	for _, e := range stats.Errors {
 		fmt.Fprintf(os.Stderr, "bddload: error: %s\n", e)

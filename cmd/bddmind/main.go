@@ -7,7 +7,8 @@
 //
 //	bddmind [-addr :8080] [-shards N] [-queue N] [-max-vars N]
 //	        [-req-nodes N] [-live-nodes N] [-timeout D] [-max-timeout D]
-//	        [-retry-after D] [-trace-out serve.jsonl] [-drain-timeout D]
+//	        [-retry-after D] [-cache on|off] [-cache-entries N]
+//	        [-cache-bytes N] [-trace-out serve.jsonl] [-drain-timeout D]
 //
 // Endpoints:
 //
@@ -23,6 +24,12 @@
 // bounds each shard's arena, -timeout/-max-timeout set and clamp request
 // deadlines. A tripped budget degrades the request to the best valid
 // intermediate cover instead of failing it.
+//
+// The result cache is on by default: identical requests are answered from
+// a byte-budgeted LRU (front line) or from a content-addressed store of
+// already-built [f, c] pairs (shard side), and concurrent identical
+// requests coalesce onto one execution. -cache off disables all of it;
+// -cache-entries and -cache-bytes bound the store.
 //
 // SIGTERM or SIGINT starts a graceful drain: admission stops (503), the
 // queued and in-flight jobs finish, then the process exits 0. -trace-out
@@ -56,6 +63,9 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "default per-request deadline, e.g. 2s (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "clamp on requested deadlines (0 = no clamp)")
 		retryAfter   = flag.Duration("retry-after", 500*time.Millisecond, "backoff hint attached to 429 responses")
+		cache        = flag.String("cache", "on", "result cache + request coalescing: on or off")
+		cacheEntries = flag.Int("cache-entries", 4096, "result-cache entry cap")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget")
 		traceOut     = flag.String("trace-out", "", "write the serve + pipeline event stream as JSONL to this file")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
 	)
@@ -70,6 +80,15 @@ func main() {
 		DefaultTimeout:     *timeout,
 		MaxTimeout:         *maxTimeout,
 		RetryAfter:         *retryAfter,
+	}
+	switch *cache {
+	case "on":
+		cfg.CacheEntries = *cacheEntries
+		cfg.CacheBytes = *cacheBytes
+	case "off":
+		// Leave both zero: serve.New builds no cache and no singleflight.
+	default:
+		fail(fmt.Errorf("bddmind: -cache must be on or off, got %q", *cache))
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -2,6 +2,7 @@ package bdd
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"sort"
@@ -11,6 +12,13 @@ import (
 // compact, stable text format that ReadFunctions can reload into any
 // manager with enough variables. Node identity (sharing) is preserved;
 // complement edges are encoded in the references.
+//
+// The serialization is canonical: nodes are emitted in structural
+// post-order (children before parents, high subtree first) under the
+// sorted root names, so the body after the vars line depends only on the
+// functions themselves — the same roots serialize byte-identically from
+// any manager, regardless of arena layout or construction history. That
+// property is what HashFunctions content-addresses.
 //
 // Format:
 //
@@ -24,6 +32,37 @@ import (
 // A ref is 2*localIndex (+1 if complemented); local index 0 is the
 // terminal One.
 func (m *Manager) WriteFunctions(w io.Writer, roots map[string]Ref) error {
+	bw := bufio.NewWriter(w)
+	if err := m.writeCanonical(bw, roots, true); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// HashFunctions returns the SHA-256 of the canonical serialization of the
+// named functions, omitting the vars line — the manager's variable count is
+// an artifact of its history (shard managers grow monotonically), not of
+// the functions. Two managers holding structurally identical functions
+// under the same names produce the same digest, which makes the hash a
+// content address for [f, c] pairs across shards.
+func (m *Manager) HashFunctions(roots map[string]Ref) ([sha256.Size]byte, error) {
+	h := sha256.New()
+	bw := bufio.NewWriter(h)
+	if err := m.writeCanonical(bw, roots, false); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum, nil
+}
+
+// writeCanonical emits the serialization format, with the vars line
+// controlled by withVars (WriteFunctions includes it so ReadFunctions can
+// validate; HashFunctions excludes it to stay manager-independent).
+func (m *Manager) writeCanonical(bw *bufio.Writer, roots map[string]Ref, withVars bool) error {
 	names := make([]string, 0, len(roots))
 	for name := range roots {
 		if len(name) == 0 || containsSpace(name) {
@@ -32,21 +71,16 @@ func (m *Manager) WriteFunctions(w io.Writer, roots map[string]Ref) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	// Collect nodes and order them children-first (descending level works
-	// for any ordered BDD, with stable index tie-break).
+	// Collect nodes in structural post-order under the sorted root names:
+	// children precede parents (a valid dependency order for ReadFunctions)
+	// and the sequence is determined by the diagram alone, never by arena
+	// indexes — the canonicality WriteFunctions documents.
 	gen := m.newStamp()
 	var order []uint32
 	for _, name := range names {
 		m.checkRef(roots[name])
-		order = m.appendReach(roots[name], gen, order)
+		order = m.appendReachPost(roots[name], gen, order)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		li, lj := m.nodes[order[i]].level, m.nodes[order[j]].level
-		if li != lj {
-			return li > lj
-		}
-		return order[i] < order[j]
-	})
 	local := map[uint32]uint32{0: 0}
 	for i, idx := range order {
 		local[idx] = uint32(i + 1)
@@ -58,8 +92,11 @@ func (m *Manager) WriteFunctions(w io.Writer, roots map[string]Ref) error {
 		}
 		return out
 	}
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "bddmin-bdd 1\nvars %d\nnodes %d\n", m.nvars, len(order))
+	fmt.Fprintf(bw, "bddmin-bdd 1\n")
+	if withVars {
+		fmt.Fprintf(bw, "vars %d\n", m.nvars)
+	}
+	fmt.Fprintf(bw, "nodes %d\n", len(order))
 	for _, idx := range order {
 		n := &m.nodes[idx]
 		fmt.Fprintf(bw, "%d %d %d\n", n.level, ref(n.high), ref(n.low))
@@ -68,7 +105,7 @@ func (m *Manager) WriteFunctions(w io.Writer, roots map[string]Ref) error {
 	for _, name := range names {
 		fmt.Fprintf(bw, "%s %d\n", name, ref(roots[name]))
 	}
-	return bw.Flush()
+	return nil
 }
 
 func containsSpace(s string) bool {

@@ -93,6 +93,68 @@ func TestSerializeRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestSerializeCanonicalAcrossManagers is the property the semantic result
+// cache rests on: managers with different construction histories, arena
+// layouts, and variable counts must serialize structurally identical
+// functions byte-identically (modulo the vars line) and hash identically.
+func TestSerializeCanonicalAcrossManagers(t *testing.T) {
+	rng := newRand(72)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		a, b := randTT(rng, n), randTT(rng, n)
+
+		// Manager 1: clean build at exactly n variables.
+		m1 := New(n)
+		roots1 := map[string]Ref{"f": a.build(m1), "c": b.build(m1)}
+
+		// Manager 2: wider, with a polluted arena (garbage built first, some
+		// of it collected) so arena indexes differ wildly from m1's.
+		m2 := New(n + 3)
+		junk := randTT(rng, n+3).build(m2)
+		m2.Protect(junk)
+		randTT(rng, n+3).build(m2)
+		m2.GC()
+		roots2 := map[string]Ref{"f": a.build(m2), "c": b.build(m2)}
+
+		var s1, s2 strings.Builder
+		if err := m1.WriteFunctions(&s1, roots1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.WriteFunctions(&s2, roots2); err != nil {
+			t.Fatal(err)
+		}
+		stripVars := func(s string) string {
+			lines := strings.SplitN(s, "\n", 3)
+			if len(lines) != 3 || !strings.HasPrefix(lines[1], "vars ") {
+				t.Fatalf("unexpected serialization header: %q", s)
+			}
+			return lines[0] + "\n" + lines[2]
+		}
+		if stripVars(s1.String()) != stripVars(s2.String()) {
+			t.Fatalf("trial %d: serializations differ across managers:\n%s\nvs\n%s", trial, s1.String(), s2.String())
+		}
+		h1, err := m1.HashFunctions(roots1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := m2.HashFunctions(roots2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("trial %d: hashes differ across managers", trial)
+		}
+		// Different functions must not collide with the pair's hash.
+		h3, err := m1.HashFunctions(map[string]Ref{"f": roots1["f"], "c": roots1["f"]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h3 == h1 && roots1["f"] != roots1["c"] {
+			t.Fatalf("trial %d: distinct root maps hash equal", trial)
+		}
+	}
+}
+
 func TestCheckInvariantsOnHealthyManagers(t *testing.T) {
 	rng := newRand(71)
 	m := New(8)

@@ -12,8 +12,13 @@ import (
 // Latency quantiles are exact, computed client-side from per-request
 // samples; DegradedFraction is the share of responses that came back via
 // the anytime path (budget abort → clamped valid cover).
+//
+// Schema /2 adds the duplicate-heavy replay knob (DupRate) and the cache
+// observability: client-side cache-hit/coalesced counts with their hit
+// rate, and the server's final GET /metrics document embedded verbatim so
+// the report carries the authoritative admission and cache counters.
 type ServeBenchReport struct {
-	Schema      string    `json:"schema"` // "bddmin-bench-serve/1"
+	Schema      string    `json:"schema"` // "bddmin-bench-serve/2"
 	Timestamp   time.Time `json:"timestamp"`
 	URL         string    `json:"url"`
 	Shards      int       `json:"shards,omitempty"` // from /metrics, when reachable
@@ -37,10 +42,22 @@ type ServeBenchReport struct {
 	VerifyFailures   int            `json:"verify_failures"`
 	Verified         bool           `json:"verified"` // covers checked client-side
 	ByFormat         map[string]int `json:"by_format,omitempty"`
+	// DupRate is the requested duplicate fraction of the replay (bddload
+	// -dup): that share of requests targets one hot instance.
+	DupRate float64 `json:"dup_rate,omitempty"`
+	// CacheHits and Coalesced are counted client-side from the cached /
+	// coalesced response flags; CacheHitRate is their combined share of
+	// completed requests.
+	CacheHits    int     `json:"cache_hits"`
+	Coalesced    int     `json:"coalesced"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Metrics embeds the server's final GET /metrics snapshot (wire form),
+	// when the scrape succeeded.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // ServeBenchSchema identifies the BENCH_serve.json layout version.
-const ServeBenchSchema = "bddmin-bench-serve/1"
+const ServeBenchSchema = "bddmin-bench-serve/2"
 
 // WriteServeJSON emits the report as indented JSON.
 func WriteServeJSON(w io.Writer, r ServeBenchReport) error {

@@ -1,0 +1,205 @@
+package problem
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestFiles drops the shared PLA and BLIF fixtures into a temp dir
+// for corpus tests that reference them by path.
+func writeTestFiles(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "t.pla"), []byte(testPLA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "m.blif"), []byte(testBLIF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCanonicalKey is table-driven over pairs that must (or must not)
+// normalize to the same key. For every pair that should match, it also
+// builds both instances and cross-checks the canonical BDD sizes of f and
+// c — a key collision between semantically different instances would serve
+// wrong covers, so equality claims are verified against the real builder,
+// not just asserted.
+func TestCanonicalKey(t *testing.T) {
+	mk := func(kind Kind, input string, output int, node string) *Problem {
+		t.Helper()
+		p, err := Parse(kind, input, output, node)
+		if err != nil {
+			t.Fatalf("Parse(%s, %q): %v", kind, input, err)
+		}
+		return p
+	}
+	plaHeader := ".i 3\n.o 1\n"
+	cases := []struct {
+		name  string
+		a, b  *Problem
+		equal bool
+	}{
+		{
+			name:  "spec whitespace and grouping",
+			a:     mk(KindSpec, "d1 01 1d 01", 0, ""),
+			b:     mk(KindSpec, "  (d1 01) (1d\t01)  ", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "spec don't-care case",
+			a:     mk(KindSpec, "D1 01 1D 01", 0, ""),
+			b:     mk(KindSpec, "d1 01 1d 01", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "spec different leaves",
+			a:     mk(KindSpec, "d1 01", 0, ""),
+			b:     mk(KindSpec, "d1 00", 0, ""),
+			equal: false,
+		},
+		{
+			name:  "pla row order and duplicates",
+			a:     mk(KindPLA, plaHeader+"1-1 1\n01- 1\n000 -\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+"000 -\n1-1 1\n01- 1\n1-1 1\n", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "pla output don't-care spelling",
+			a:     mk(KindPLA, plaHeader+"1-1 1\n000 ~\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+"1-1 1\n000 -\n", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "pla variable names are positional",
+			a:     mk(KindPLA, plaHeader+".ilb a b c\n.ob f\n1-1 1\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+".ilb x y z\n.ob out\n1-1 1\n", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "pla type f ignores non-onset rows",
+			a:     mk(KindPLA, plaHeader+".type f\n1-1 1\n000 0\n010 -\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+".type f\n1-1 1\n", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "pla type f folds into fd",
+			a:     mk(KindPLA, plaHeader+".type f\n1-1 1\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+".type fd\n1-1 1\n", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "pla type fd ignores zero rows",
+			a:     mk(KindPLA, plaHeader+"1-1 1\n000 0\n010 -\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+"1-1 1\n010 -\n", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "pla type fr ignores dc rows",
+			a:     mk(KindPLA, plaHeader+".type fr\n1-1 1\n000 0\n010 -\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+".type fr\n1-1 1\n000 0\n", 0, ""),
+			equal: true,
+		},
+		{
+			name:  "pla fd keeps dc rows",
+			a:     mk(KindPLA, plaHeader+"1-1 1\n010 -\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+"1-1 1\n", 0, ""),
+			equal: false,
+		},
+		{
+			name:  "pla different output column",
+			a:     mk(KindPLA, testPLA, 0, ""),
+			b:     mk(KindPLA, testPLA, 1, ""),
+			equal: false,
+		},
+		{
+			name:  "pla type fd vs fr differ",
+			a:     mk(KindPLA, plaHeader+".type fd\n1-1 1\n", 0, ""),
+			b:     mk(KindPLA, plaHeader+".type fr\n1-1 1\n", 0, ""),
+			equal: false,
+		},
+		{
+			name: "blif comments, continuations and spacing",
+			a:    mk(KindBLIF, testBLIF, 0, "inner"),
+			b: mk(KindBLIF, strings.ReplaceAll(testBLIF, ".names a c inner",
+				"# the gate under test\n.names a \\\n  c   inner"), 0, "inner"),
+			equal: true,
+		},
+		{
+			name:  "blif different target node",
+			a:     mk(KindBLIF, testBLIF, 0, "inner"),
+			b:     mk(KindBLIF, testBLIF, 0, "f"),
+			equal: false,
+		},
+		{
+			name:  "blif signal names are semantic",
+			a:     mk(KindBLIF, testBLIF, 0, "f"),
+			b:     mk(KindBLIF, strings.ReplaceAll(testBLIF, "inner", "g7"), 0, "f"),
+			equal: false,
+		},
+		{
+			name:  "formats never collide",
+			a:     mk(KindSpec, "d1 01", 0, ""),
+			b:     mk(KindPLA, ".i 2\n.o 1\n01 1\n", 0, ""),
+			equal: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, kb := tc.a.CanonicalKey(), tc.b.CanonicalKey()
+			if (ka == kb) != tc.equal {
+				t.Fatalf("keys %q and %q: equal=%v, want %v", ka, kb, ka == kb, tc.equal)
+			}
+			if !tc.equal {
+				return
+			}
+			// Equal keys must build the same [f, c] — sizes are canonical.
+			ma, ia, err := tc.a.NewManager()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, ib, err := tc.b.NewManager()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ma.Size(ia.F) != mb.Size(ib.F) || ma.Size(ia.C) != mb.Size(ib.C) {
+				t.Fatalf("equal keys build different instances: f %d/%d, c %d/%d",
+					ma.Size(ia.F), mb.Size(ib.F), ma.Size(ia.C), mb.Size(ib.C))
+			}
+		})
+	}
+}
+
+// TestCorpusDedupe: the auto-picked node of testBLIF is "inner", so the
+// explicit and implicit spellings are one instance; the reordered PLA rows
+// normalize together too. Distinct instances survive.
+func TestCorpusDedupe(t *testing.T) {
+	dir := writeTestFiles(t)
+	corpus := `
+d1 01 1d 01
+(d1 01)(1d 01)
+@blif m.blif
+@blif m.blif inner
+@pla t.pla 0
+@pla t.pla 1
+`
+	probs, err := LoadCorpus(strings.NewReader(corpus), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, p := range probs {
+		labels = append(labels, p.Label)
+	}
+	if len(probs) != 4 {
+		t.Fatalf("got %d problems (%v), want 4 after dedupe", len(probs), labels)
+	}
+	wantKinds := []Kind{KindSpec, KindBLIF, KindPLA, KindPLA}
+	for i, p := range probs {
+		if p.Kind != wantKinds[i] {
+			t.Fatalf("problem %d: kind %s, want %s", i, p.Kind, wantKinds[i])
+		}
+	}
+}

@@ -64,13 +64,18 @@ func ParseLine(line, baseDir string) (*Problem, error) {
 	return nil, fmt.Errorf("problem: corpus line %q: unknown directive %s (want @pla or @blif)", trimmed, fields[0])
 }
 
-// LoadCorpus reads a corpus stream line by line. Errors name the offending
-// line number; an empty corpus is an error (a load run against it would
+// LoadCorpus reads a corpus stream line by line. Entries that normalize to
+// the same CanonicalKey are deduplicated (first spelling wins) — a corpus
+// listing `@blif mux.blif` and `@blif mux.blif inner` where the auto-pick
+// resolves to inner is one instance, not two, and replaying it should not
+// silently skew toward the duplicate. Errors name the offending line
+// number; an empty corpus is an error (a load run against it would
 // silently do nothing).
 func LoadCorpus(r io.Reader, baseDir string) ([]*Problem, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var out []*Problem
+	seen := map[string]bool{}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -78,7 +83,8 @@ func LoadCorpus(r io.Reader, baseDir string) ([]*Problem, error) {
 		if err != nil {
 			return nil, fmt.Errorf("corpus line %d: %w", line, err)
 		}
-		if p != nil {
+		if p != nil && !seen[p.CanonicalKey()] {
+			seen[p.CanonicalKey()] = true
 			out = append(out, p)
 		}
 	}

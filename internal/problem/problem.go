@@ -61,6 +61,7 @@ type Problem struct {
 	pla    *logic.PLA
 	net    *logic.Network
 	target *logic.Node
+	canon  string // normalized identity, computed at construction (CanonicalKey)
 }
 
 // FromSpec builds a Problem from a leaf-notation spec. The spec is parsed
@@ -78,6 +79,7 @@ func FromSpec(spec string) (*Problem, error) {
 		Label: fmt.Sprintf("-spec %q", spec),
 		Vars:  n,
 		Raw:   spec,
+		canon: canonicalSpec(spec),
 	}, nil
 }
 
@@ -122,6 +124,7 @@ func ParsePLA(src string, output int, label string) (*Problem, error) {
 		Raw:    src,
 		Output: output,
 		pla:    pla,
+		canon:  canonicalPLA(pla, output),
 	}, nil
 }
 
@@ -150,6 +153,7 @@ func ParseBLIF(src string, node string, label string) (*Problem, error) {
 		Node:   target.Name,
 		net:    net,
 		target: target,
+		canon:  canonicalBLIF(src, target.Name),
 	}, nil
 }
 

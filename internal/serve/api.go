@@ -67,8 +67,16 @@ type MinimizeResponse struct {
 	Degraded    bool   `json:"degraded,omitempty"`
 	AbortReason string `json:"abort_reason,omitempty"`
 	AbortPhase  string `json:"abort_phase,omitempty"`
-	// Shard is the worker that ran the job; QueueNs and RunNs split the
-	// request's server-side latency into waiting and execution.
+	// Cached marks a response served from the result cache — at admission
+	// (request-keyed) or on the shard (content-addressed) — instead of a
+	// fresh minimization. Coalesced marks a follower response fanned out
+	// from a concurrent identical request's execution. Cached results are
+	// always complete (degraded covers are never stored).
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Shard is the worker that ran the job (-1 when no shard ran — a
+	// front-line cache hit or a coalesced fan-out); QueueNs and RunNs
+	// split the request's server-side latency into waiting and execution.
 	Shard   int   `json:"shard"`
 	QueueNs int64 `json:"queue_ns"`
 	RunNs   int64 `json:"run_ns"`
@@ -159,6 +167,24 @@ type HeuristicStats struct {
 	TotalNs      float64 `json:"total_ns"`
 }
 
+// CacheSnapshot is the result-cache section of GET /metrics. ReqHits are
+// front-line hits on the normalized request key; SemHits are shard-side
+// hits on the content address of [f, c]; Coalesced counts follower
+// requests fanned out from a concurrent identical leader.
+type CacheSnapshot struct {
+	Enabled    bool   `json:"enabled"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	MaxEntries int    `json:"max_entries,omitempty"`
+	MaxBytes   int64  `json:"max_bytes,omitempty"`
+	ReqHits    uint64 `json:"req_hits"`
+	SemHits    uint64 `json:"sem_hits"`
+	Misses     uint64 `json:"misses"`
+	Coalesced  uint64 `json:"coalesced"`
+	Inserts    uint64 `json:"inserts"`
+	Evictions  uint64 `json:"evictions"`
+}
+
 // MetricsSnapshot is the body of GET /metrics.
 type MetricsSnapshot struct {
 	UptimeNs   int64            `json:"uptime_ns"`
@@ -166,6 +192,7 @@ type MetricsSnapshot struct {
 	QueueDepth int              `json:"queue_depth"`
 	QueueCap   int              `json:"queue_cap"`
 	Counters   CounterSnapshot  `json:"counters"`
+	Cache      CacheSnapshot    `json:"cache"`
 	Latency    LatencySnapshot  `json:"latency"`
 	Heuristics []HeuristicStats `json:"heuristics"`
 }

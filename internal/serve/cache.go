@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Two-tier result memoization.
+//
+// The minimization heuristics are deterministic functions of the canonical
+// pair [f, c] and a heuristic name, so identical instances always produce
+// identical covers — recomputing a duplicate is pure waste. The server
+// exploits that at two depths:
+//
+//   - Tier 1, at admission: a request cache keyed on the instance's
+//     problem.CanonicalKey plus the budget-relevant limits, consulted
+//     before the queue so duplicates never consume a slot. Concurrent
+//     identical misses coalesce through a singleflight table — the first
+//     request (the leader) runs, the rest (followers) wait on its flight
+//     and fan out the response.
+//
+//   - Tier 2, on the shard: a semantic cache keyed on the SHA-256 of the
+//     canonical bdd serialization of [f, c] (bdd.HashFunctions), computed
+//     after Problem.Build. Syntactically different encodings of the same
+//     function — renamed PLA inputs, a BLIF netlist versus a spec —
+//     converge here even though their tier-1 keys differ.
+//
+// Both tiers share one byte-budgeted LRU. Only complete results are
+// stored: a degraded (budget-tripped) cover is valid but not canonical for
+// the instance, and serving it to an unbudgeted caller would silently
+// downgrade the answer, so degraded responses always re-run. Stored
+// responses hold only manager-independent data (the serialized cover,
+// sizes, the optional spec echo), so a hit is correct from any shard and
+// re-verifiable client-side.
+
+// entryOverhead approximates the per-entry bookkeeping cost (list element,
+// map slot, response struct) charged against the byte budget on top of the
+// stored strings.
+const entryOverhead = 256
+
+// cacheEntry is one stored result; resp is a sanitized template that is
+// copied, never served directly.
+type cacheEntry struct {
+	key  string
+	resp *MinimizeResponse
+	size int64
+}
+
+// resultCache is the shared bounded LRU behind both tiers. The zero limits
+// are not valid — use newResultCache, which normalizes them.
+type resultCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu    sync.Mutex
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	reqHits   atomic.Uint64 // tier-1 (request-key) hits served at admission
+	semHits   atomic.Uint64 // tier-2 (content-addressed) hits served on a shard
+	misses    atomic.Uint64 // lookups that found nothing
+	coalesced atomic.Uint64 // followers fanned out from a leader's flight
+	inserts   atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the stored template for key and promotes it, or nil on a
+// miss. Callers must copy the result before mutating it (cachedResponse).
+func (c *resultCache) get(key string) *MinimizeResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp
+}
+
+// put stores a sanitized copy of resp under key, replacing any previous
+// entry, then evicts from the cold end until both budgets hold. Callers
+// are responsible for never passing degraded responses.
+func (c *resultCache) put(key string, resp *MinimizeResponse) {
+	entry := &cacheEntry{
+		key:  key,
+		resp: sanitize(resp),
+		size: int64(len(key)+len(resp.Cover)+len(resp.Spec)) + entryOverhead,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.bytes -= el.Value.(*cacheEntry).size
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	c.items[key] = c.ll.PushFront(entry)
+	c.bytes += entry.size
+	c.inserts.Add(1)
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.key)
+		c.bytes -= ev.size
+		c.evictions.Add(1)
+	}
+}
+
+// sanitize strips the per-request fields from a response so the remainder
+// is a reusable template: ID, shard, timings and trace belong to the
+// execution that produced it, not to the instance's result.
+func sanitize(resp *MinimizeResponse) *MinimizeResponse {
+	cp := *resp
+	cp.ID = 0
+	cp.Shard = -1
+	cp.QueueNs = 0
+	cp.RunNs = 0
+	cp.Trace = nil
+	cp.Cached = false
+	cp.Coalesced = false
+	return &cp
+}
+
+// cachedResponse instantiates a stored template for one request.
+func cachedResponse(stored *MinimizeResponse, id uint64) *MinimizeResponse {
+	cp := *stored
+	cp.ID = id
+	cp.Cached = true
+	return &cp
+}
+
+// requestKey is the tier-1 identity: the normalized instance, the
+// heuristic, and the budget-relevant limits. The limits matter because a
+// tighter budget can legitimately produce a different (degraded) answer —
+// and because a budgeted caller must not coalesce onto an unbudgeted
+// leader whose run may outlast the budget it asked for.
+func requestKey(canon, heuristic string, nodesCap uint64, timeout time.Duration) string {
+	return fmt.Sprintf("req|%s|%s|n%d|t%d", canon, heuristic, nodesCap, timeout.Milliseconds())
+}
+
+// semanticKey is the tier-2 identity: the content address of [f, c] plus
+// the heuristic and the variable count (the spec echo renders over Vars,
+// so results for different widths are not interchangeable). Budget limits
+// are deliberately absent — only complete results are stored, and a
+// complete result is correct for any budget.
+func semanticKey(sum [sha256.Size]byte, heuristic string, vars int) string {
+	return "sem|" + hex.EncodeToString(sum[:]) + "|" + heuristic + "|v" + strconv.Itoa(vars)
+}
+
+// flight is one in-progress leader execution that concurrent identical
+// requests wait on. The leader records its outcome (resp on 200, errBody
+// otherwise) before done is closed; followers then mirror it.
+type flight struct {
+	done    chan struct{}
+	resp    *MinimizeResponse // sanitized template, set on success
+	status  int               // HTTP status the leader's request resolved to
+	errBody ErrorResponse     // body for non-200 outcomes
+}
+
+// cacheSnapshot renders the cache section of GET /metrics.
+func (s *Server) cacheSnapshot() CacheSnapshot {
+	c := s.cache
+	if c == nil {
+		return CacheSnapshot{}
+	}
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return CacheSnapshot{
+		Enabled:    true,
+		Entries:    entries,
+		Bytes:      bytes,
+		MaxEntries: c.maxEntries,
+		MaxBytes:   c.maxBytes,
+		ReqHits:    c.reqHits.Load(),
+		SemHits:    c.semHits.Load(),
+		Misses:     c.misses.Load(),
+		Coalesced:  c.coalesced.Load(),
+		Inserts:    c.inserts.Load(),
+		Evictions:  c.evictions.Load(),
+	}
+}

@@ -45,8 +45,10 @@ func (s *Server) reject(w http.ResponseWriter, id uint64, status int, reason str
 	writeJSON(w, status, body)
 }
 
-// handleMinimize is the admission path: parse, validate, map limits onto a
-// budget, try the bounded queue, then wait for the shard's response.
+// handleMinimize is the admission path: parse, validate, consult the
+// request cache and the singleflight table (duplicates never consume a
+// queue slot), map limits onto a budget, try the bounded queue, then wait
+// for the shard's response.
 func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -83,27 +85,81 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, id, http.StatusBadRequest, "bad-heuristic", ErrorResponse{Error: fmt.Sprintf("unknown heuristic %q", name)})
 		return
 	}
+	enq := time.Now()
+	timeout := s.timeoutFor(req.TimeoutMs)
+	nodesCap := clampNodes(req.BudgetNodes, s.cfg.MaxNodesPerRequest)
+
+	// Front line: the request cache and the singleflight table, keyed on
+	// the normalized instance plus the budget-relevant limits. Trace
+	// requests bypass both — their point is to observe a fresh run.
+	var (
+		key string
+		fl  *flight
+	)
+	if s.cache != nil && !req.Trace {
+		key = requestKey(prob.CanonicalKey(), name, nodesCap, timeout)
+		if stored := s.cache.get(key); stored != nil {
+			s.cache.reqHits.Add(1)
+			s.lat.observe(time.Since(enq).Nanoseconds())
+			s.emitServe(obs.ServeEvent{
+				Phase: "cache_hit", ID: id, Shard: -1, Reason: "request",
+				Format: string(prob.Kind), Heuristic: name, Queue: len(s.queue),
+			})
+			writeJSON(w, http.StatusOK, cachedResponse(stored, id))
+			return
+		}
+		s.flightMu.Lock()
+		if leader, inFlight := s.flights[key]; inFlight {
+			s.flightMu.Unlock()
+			s.cache.coalesced.Add(1)
+			s.emitServe(obs.ServeEvent{
+				Phase: "coalesced", ID: id, Shard: -1,
+				Format: string(prob.Kind), Heuristic: name, Queue: len(s.queue),
+			})
+			s.awaitFlight(w, r, leader, id, enq)
+			return
+		}
+		fl = &flight{done: make(chan struct{})}
+		s.flights[key] = fl
+		s.flightMu.Unlock()
+		// The flight completes on every exit path below; followers that
+		// joined meanwhile read its recorded outcome after done closes.
+		defer func() {
+			s.flightMu.Lock()
+			delete(s.flights, key)
+			s.flightMu.Unlock()
+			close(fl.done)
+		}()
+	}
+
 	t := &task{
 		id:       id,
 		prob:     prob,
 		heu:      heu,
 		trace:    req.Trace,
-		nodesCap: clampNodes(req.BudgetNodes, s.cfg.MaxNodesPerRequest),
-		deadline: s.deadlineFor(req.TimeoutMs),
+		nodesCap: nodesCap,
+		deadline: deadlineFrom(timeout),
 		ctx:      r.Context(),
-		enq:      time.Now(),
+		enq:      enq,
 		resp:     make(chan *MinimizeResponse, 1),
 	}
 	switch s.enqueue(t) {
 	case drainRefused:
 		s.counters.drainRejects.Add(1)
-		s.reject(w, id, http.StatusServiceUnavailable, "draining", ErrorResponse{Error: "server is draining"})
+		body := ErrorResponse{Error: "server is draining"}
+		if fl != nil {
+			fl.status, fl.errBody = http.StatusServiceUnavailable, body
+		}
+		s.reject(w, id, http.StatusServiceUnavailable, "draining", body)
 		return
 	case queueFull:
 		s.counters.rejected.Add(1)
+		body := ErrorResponse{Error: "queue full, retry later", RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
+		if fl != nil {
+			fl.status, fl.errBody = http.StatusTooManyRequests, body
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-		s.reject(w, id, http.StatusTooManyRequests, "queue-full",
-			ErrorResponse{Error: "queue full, retry later", RetryAfterMs: s.cfg.RetryAfter.Milliseconds()})
+		s.reject(w, id, http.StatusTooManyRequests, "queue-full", body)
 		return
 	}
 	s.counters.accepted.Add(1)
@@ -115,10 +171,53 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	if resp == nil {
 		// Either the client vanished before the shard picked the job up,
 		// or the job failed internally; the counters already know which.
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "minimization failed"})
+		body := ErrorResponse{Error: "minimization failed"}
+		if fl != nil {
+			fl.status, fl.errBody = http.StatusInternalServerError, body
+		}
+		writeJSON(w, http.StatusInternalServerError, body)
 		return
 	}
+	if fl != nil {
+		fl.status = http.StatusOK
+		fl.resp = sanitize(resp)
+		// Tier-1 insert: complete results only, so a degraded cover is
+		// never replayed to a later identical request.
+		if !resp.Degraded {
+			s.cache.put(key, fl.resp)
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// awaitFlight parks a follower on its leader's flight and mirrors the
+// outcome: a fanned-out copy of the response on success, the leader's
+// error status otherwise. The follower holds no queue slot while waiting.
+func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight, id uint64, enq time.Time) {
+	select {
+	case <-fl.done:
+	case <-r.Context().Done():
+		// Client gone; there is nobody to write to.
+		s.counters.canceled.Add(1)
+		return
+	}
+	switch fl.status {
+	case http.StatusOK:
+		resp := cachedResponse(fl.resp, id)
+		resp.Cached = false
+		resp.Coalesced = true
+		s.lat.observe(time.Since(enq).Nanoseconds())
+		writeJSON(w, http.StatusOK, resp)
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeJSON(w, fl.status, fl.errBody)
+	case 0:
+		// The leader's handler exited without recording an outcome — a
+		// bug guard, not an expected path.
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "coalesced leader vanished"})
+	default:
+		writeJSON(w, fl.status, fl.errBody)
+	}
 }
 
 // clampNodes combines the request's node cap with the server-wide one:
@@ -133,9 +232,11 @@ func clampNodes(req, server uint64) uint64 {
 	return req
 }
 
-// deadlineFor maps timeout_ms onto an absolute deadline under the server's
-// default and clamp.
-func (s *Server) deadlineFor(timeoutMs int) time.Time {
+// timeoutFor resolves timeout_ms to the effective per-request timeout
+// under the server's default and clamp. The resolved duration (not the
+// raw request field) is part of the tier-1 cache key, so requests that
+// clamp to the same budget share an entry.
+func (s *Server) timeoutFor(timeoutMs int) time.Duration {
 	d := time.Duration(timeoutMs) * time.Millisecond
 	if d <= 0 {
 		d = s.cfg.DefaultTimeout
@@ -143,6 +244,15 @@ func (s *Server) deadlineFor(timeoutMs int) time.Time {
 	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
 		d = s.cfg.MaxTimeout
 	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// deadlineFrom maps an effective timeout onto an absolute deadline; zero
+// means unbounded.
+func deadlineFrom(d time.Duration) time.Time {
 	if d <= 0 {
 		return time.Time{}
 	}

@@ -36,10 +36,23 @@ type LoadConfig struct {
 	TimeoutMs int
 	// BudgetNodes is forwarded per request (0 = server default).
 	BudgetNodes uint64
-	// Verify re-checks every cover client-side (f·c ≤ g ≤ f + ¬c).
+	// Verify re-checks covers client-side (f·c ≤ g ≤ f + ¬c). Every
+	// distinct (instance, cover) pair is verified once; replays of
+	// byte-identical covers — the normal case under a duplicate-heavy,
+	// cache-served load — reuse the verdict, so verification cost scales
+	// with distinct results rather than request count.
 	Verify bool
 	// MaxRetries bounds consecutive 429 retries per request (default 50).
 	MaxRetries int
+	// DupRate is the fraction of requests (0..1) redirected to a single
+	// hot instance instead of the round-robin pick — the duplicate-heavy
+	// replay that exercises the server's result cache and singleflight
+	// coalescing. The hot instance is the widest of the corpus (ties to
+	// the earliest), so the replay measures the cache absorbing real
+	// work, not round-trip overhead. Selection is deterministic in the
+	// request sequence number, so a run is reproducible at any
+	// concurrency.
+	DupRate float64
 }
 
 // ProblemRef pairs a corpus problem with its prebuilt wire request, so the
@@ -63,6 +76,8 @@ func Refs(probs []*problem.Problem, heuristic string) []*ProblemRef {
 type LoadStats struct {
 	Requests    int      // completed (HTTP 200) requests
 	Degraded    int      // of which degraded by a budget abort
+	CacheHits   int      // responses marked cached by the server
+	Coalesced   int      // responses fanned out from a concurrent leader
 	Rejected429 int      // backpressure rejections absorbed by retry
 	Errors      []string // transport/HTTP errors (capped)
 	VerifyFails []string // cover-condition violations (capped)
@@ -114,12 +129,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 	if maxRetries <= 0 {
 		maxRetries = 50
 	}
+	hot := 0
+	for i, ref := range cfg.Problems {
+		if ref.Problem.Vars > cfg.Problems[hot].Problem.Vars {
+			hot = i
+		}
+	}
 	var (
-		issued  atomic.Int64
-		mu      sync.Mutex
-		stats   = &LoadStats{ByFormat: map[string]int{}}
-		wg      sync.WaitGroup
-		started = time.Now()
+		issued   atomic.Int64
+		mu       sync.Mutex
+		stats    = &LoadStats{ByFormat: map[string]int{}}
+		wg       sync.WaitGroup
+		verifyMu sync.Mutex
+		verdicts = map[string]error{}
+		started  = time.Now()
 	)
 	record := func(fn func()) {
 		mu.Lock()
@@ -136,6 +159,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 					return
 				}
 				ref := cfg.Problems[int(seq)%len(cfg.Problems)]
+				if cfg.DupRate > 0 && hotPick(uint64(seq), cfg.DupRate) {
+					ref = cfg.Problems[hot]
+				}
 				req := ref.Request
 				if cfg.Heuristic != "" {
 					req.Heuristic = cfg.Heuristic
@@ -150,7 +176,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 				lat := time.Since(start)
 				var verifyErr error
 				if cfg.Verify {
-					verifyErr = VerifyResponse(ref.Problem, resp)
+					vkey := ref.Problem.CanonicalKey() + "\x00" + resp.Cover
+					verifyMu.Lock()
+					v, seen := verdicts[vkey]
+					verifyMu.Unlock()
+					if seen {
+						verifyErr = v
+					} else {
+						verifyErr = VerifyResponse(ref.Problem, resp)
+						verifyMu.Lock()
+						verdicts[vkey] = verifyErr
+						verifyMu.Unlock()
+					}
 				}
 				record(func() {
 					stats.Requests++
@@ -158,6 +195,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 					stats.ByFormat[resp.Format]++
 					if resp.Degraded {
 						stats.Degraded++
+					}
+					if resp.Cached {
+						stats.CacheHits++
+					}
+					if resp.Coalesced {
+						stats.Coalesced++
 					}
 					if verifyErr != nil && len(stats.VerifyFails) < errCap {
 						stats.VerifyFails = append(stats.VerifyFails, verifyErr.Error())
@@ -169,6 +212,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 	wg.Wait()
 	stats.Elapsed = time.Since(started)
 	return stats, nil
+}
+
+// hotPick decides whether request seq goes to the hot instance: a
+// Weyl-style hash of the sequence number mapped to [0, 1) and compared
+// against the duplicate rate. Stateless and deterministic, so workers
+// need no shared RNG and reruns replay the same request mix.
+func hotPick(seq uint64, rate float64) bool {
+	x := seq * 0x9E3779B97F4A7C15
+	return float64(x>>11)/float64(1<<53) < rate
 }
 
 // submitWithRetry posts one job, absorbing 429 backpressure by honoring

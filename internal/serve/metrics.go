@@ -103,6 +103,7 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			Canceled: s.counters.canceled.Load(),
 			Failed:   s.counters.failed.Load(),
 		},
+		Cache:   s.cacheSnapshot(),
 		Latency: s.lat.snapshot(),
 	}
 	for _, w := range s.workers {
