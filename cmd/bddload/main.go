@@ -16,6 +16,13 @@
 // singleflight coalescing; the report embeds the server's final /metrics
 // snapshot so its cache counters ride along with the client-side numbers.
 //
+// -addr may point at a bddrouter instead of a single bddmind: the harness
+// then also records the per-backend request distribution and per-backend
+// cache hits (from the router's X-Bddmind-Backend response header) and
+// embeds the router's /metrics snapshot — ejections, failovers, retry
+// histogram and ring composition — in the report's router_metrics field
+// (schema bddmin-bench-serve/3).
+//
 // The corpus format is one instance per line: a leaf-notation spec, or
 // `@pla path [output]` / `@blif path [node]` file references resolved
 // relative to the corpus file (see internal/problem).
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"bddmin/internal/harness"
@@ -109,7 +117,7 @@ func main() {
 		MaxNs:            stats.Percentile(1.0).Nanoseconds(),
 		Degraded:         stats.Degraded,
 		Rejected429:      stats.Rejected429,
-		Errors:           len(stats.Errors),
+		Errors:           stats.ErrorCount,
 		VerifyFailures:   len(stats.VerifyFails),
 		Verified:         !*noVerify,
 		ByFormat:         stats.ByFormat,
@@ -119,13 +127,30 @@ func main() {
 		Coalesced:        stats.Coalesced,
 		CacheHitRate:     frac(stats.CacheHits+stats.Coalesced, stats.Requests),
 	}
-	// Embed the server's final /metrics snapshot: the authoritative
-	// admission and cache counters for the run the report describes.
-	if snap, err := client.Metrics(context.Background()); err == nil {
-		report.Shards = len(snap.Shards)
-		report.QueueCap = snap.QueueCap
-		if raw, err := json.Marshal(snap); err == nil {
+	if len(stats.ByBackend) > 0 {
+		report.BackendDistribution = stats.ByBackend
+		report.BackendCacheHits = stats.CacheByBackend
+	}
+	// Embed the target's final /metrics snapshot: the authoritative
+	// admission and cache counters for the run the report describes. The
+	// target may be a bddmind (shards) or a bddrouter (ring) — the
+	// document shape tells them apart.
+	if raw, err := client.RawMetrics(context.Background()); err == nil {
+		var probe struct {
+			Shards []json.RawMessage `json:"shards"`
+			Ring   []json.RawMessage `json:"ring"`
+		}
+		_ = json.Unmarshal(raw, &probe)
+		switch {
+		case len(probe.Ring) > 0:
+			report.RouterMetrics = raw
+		case len(probe.Shards) > 0:
 			report.Metrics = raw
+			report.Shards = len(probe.Shards)
+			var snap serve.MetricsSnapshot
+			if json.Unmarshal(raw, &snap) == nil {
+				report.QueueCap = snap.QueueCap
+			}
 		}
 	}
 	f, err := os.Create(*out)
@@ -144,9 +169,19 @@ func main() {
 		stats.Percentile(0.95).Round(time.Microsecond),
 		stats.Percentile(0.99).Round(time.Microsecond))
 	fmt.Printf("bddload: degraded %d (%.1f%%), 429s absorbed %d, errors %d, verify failures %d\n",
-		stats.Degraded, 100*report.DegradedFraction, stats.Rejected429, len(stats.Errors), len(stats.VerifyFails))
+		stats.Degraded, 100*report.DegradedFraction, stats.Rejected429, stats.ErrorCount, len(stats.VerifyFails))
 	fmt.Printf("bddload: cache hits %d, coalesced %d (%.1f%% served without a fresh run)\n",
 		stats.CacheHits, stats.Coalesced, 100*report.CacheHitRate)
+	if len(stats.ByBackend) > 0 {
+		backends := make([]string, 0, len(stats.ByBackend))
+		for b := range stats.ByBackend {
+			backends = append(backends, b)
+		}
+		sort.Strings(backends)
+		for _, b := range backends {
+			fmt.Printf("bddload: backend %s served %d (%d cached)\n", b, stats.ByBackend[b], stats.CacheByBackend[b])
+		}
+	}
 	fmt.Printf("bddload: report written to %s\n", *out)
 	for _, e := range stats.Errors {
 		fmt.Fprintf(os.Stderr, "bddload: error: %s\n", e)

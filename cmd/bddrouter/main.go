@@ -1,0 +1,145 @@
+// Command bddrouter is the stateless multi-node front of the
+// minimization service: it places POST /minimize jobs on a fleet of
+// bddmind backends with a consistent-hash ring keyed on the instance's
+// canonical identity (problem.CanonicalKey, hashed), so identical
+// instances always land on the backend whose result cache and
+// singleflight table can answer them, and cache locality survives a node
+// joining or leaving.
+//
+// Usage:
+//
+//	bddrouter -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//	          [-addr :8090] [-vnodes 128] [-probe-interval 1s]
+//	          [-probe-timeout 500ms] [-fail-after 2] [-revive-after 2]
+//	          [-max-attempts 0] [-retry-backoff 25ms]
+//	          [-trace-out route.jsonl]
+//
+// Endpoints:
+//
+//	POST /minimize   proxied to the instance's ring backend, with
+//	                 failover to the next ring node on connection error
+//	                 or 503 drain refusal; 429 backpressure is passed
+//	                 through with Retry-After intact; every proxied
+//	                 response carries X-Bddmind-Backend
+//	GET  /healthz    200 while at least one backend is admitted
+//	GET  /metrics    per-backend request/error/ejection counters, the
+//	                 retry histogram, and the ring composition
+//
+// Health: each backend's GET /healthz is probed every -probe-interval;
+// -fail-after consecutive failures eject it from candidate selection
+// (a draining bddmind answers 503 and is ejected before it starts
+// refusing work), -revive-after consecutive successes re-admit it.
+//
+// SIGTERM or SIGINT stops the probers and shuts the HTTP server down
+// gracefully. The router holds no state worth draining — in-flight
+// proxied requests complete, then it exits 0.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bddmin/internal/obs"
+	"bddmin/internal/route"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "listen address")
+		backends      = flag.String("backends", "", "comma-separated bddmind base URLs (required)")
+		vnodes        = flag.Int("vnodes", route.DefaultVirtualNodes, "virtual nodes per backend on the hash ring")
+		probeInterval = flag.Duration("probe-interval", time.Second, "health-probe period per backend")
+		probeTimeout  = flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe timeout")
+		failAfter     = flag.Int("fail-after", 2, "consecutive probe failures before ejection")
+		reviveAfter   = flag.Int("revive-after", 2, "consecutive probe successes before re-admission")
+		maxAttempts   = flag.Int("max-attempts", 0, "distinct backends tried per request (0 = all)")
+		retryBackoff  = flag.Duration("retry-backoff", 25*time.Millisecond, "base jittered pause between failover attempts")
+		traceOut      = flag.String("trace-out", "", "write route events (forwarded/failover/ejected/...) as JSONL to this file")
+	)
+	flag.Parse()
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, strings.TrimRight(b, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "bddrouter: -backends is required (comma-separated base URLs)")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	cfg := route.Config{
+		Backends:      urls,
+		VirtualNodes:  *vnodes,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *failAfter,
+		ReviveAfter:   *reviveAfter,
+		MaxAttempts:   *maxAttempts,
+		RetryBackoff:  *retryBackoff,
+		// One pooled client for probes and forwards, sized generously: the
+		// router multiplexes many client connections onto few backends.
+		HTTP: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+		}},
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriter(f)
+		jl := obs.NewJSONL(bw)
+		jl.Timings = true
+		cfg.Trace = jl
+		defer func() {
+			if err := jl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			bw.Flush()
+			f.Close()
+		}()
+	}
+
+	rt := route.New(cfg)
+	rt.Start()
+	httpServer := &http.Server{Addr: *addr, Handler: rt.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("bddrouter: listening on %s, %d backends, %d vnodes each\n", *addr, len(urls), *vnodes)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-sigc:
+		fmt.Printf("bddrouter: %v received, shutting down\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "bddrouter: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	rt.Close()
+	fmt.Println("bddrouter: exiting")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -17,8 +17,18 @@ import (
 // observability: client-side cache-hit/coalesced counts with their hit
 // rate, and the server's final GET /metrics document embedded verbatim so
 // the report carries the authoritative admission and cache counters.
+//
+// Schema /3 adds the multi-node topology: when the target URL is a
+// bddrouter rather than a single bddmind, BackendDistribution and
+// BackendCacheHits attribute completed requests (and the cached subset)
+// to the fleet member that produced them — the consistent-hash placement
+// record — and RouterMetrics embeds the router's final GET /metrics
+// snapshot (ejections, failovers, retry histogram, ring composition).
+// The aggregate CacheHitRate is unchanged in meaning: against a router
+// it is the fleet-wide rate, since every response carries its own
+// backend's cache verdict.
 type ServeBenchReport struct {
-	Schema      string    `json:"schema"` // "bddmin-bench-serve/2"
+	Schema      string    `json:"schema"` // "bddmin-bench-serve/3"
 	Timestamp   time.Time `json:"timestamp"`
 	URL         string    `json:"url"`
 	Shards      int       `json:"shards,omitempty"` // from /metrics, when reachable
@@ -52,12 +62,20 @@ type ServeBenchReport struct {
 	Coalesced    int     `json:"coalesced"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// Metrics embeds the server's final GET /metrics snapshot (wire form),
-	// when the scrape succeeded.
+	// when the scrape succeeded and the target was a single bddmind.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// BackendDistribution counts completed requests per fleet member and
+	// BackendCacheHits the cached subset, both attributed client-side from
+	// the router's X-Bddmind-Backend header; empty for single-node runs.
+	BackendDistribution map[string]int `json:"backend_distribution,omitempty"`
+	BackendCacheHits    map[string]int `json:"backend_cache_hits,omitempty"`
+	// RouterMetrics embeds the router's final GET /metrics snapshot when
+	// the target was a bddrouter (the document with the "ring" section).
+	RouterMetrics json.RawMessage `json:"router_metrics,omitempty"`
 }
 
 // ServeBenchSchema identifies the BENCH_serve.json layout version.
-const ServeBenchSchema = "bddmin-bench-serve/2"
+const ServeBenchSchema = "bddmin-bench-serve/3"
 
 // WriteServeJSON emits the report as indented JSON.
 func WriteServeJSON(w io.Writer, r ServeBenchReport) error {

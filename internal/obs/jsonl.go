@@ -113,6 +113,16 @@ type (
 		Reason    string `json:"reason,omitempty"`
 		Ns        int64  `json:"ns,omitempty"`
 	}
+	wireRoute struct {
+		Ev      string `json:"ev"`
+		Phase   string `json:"phase"`
+		Backend string `json:"backend,omitempty"`
+		Key     uint64 `json:"key,omitempty"`
+		Attempt int    `json:"attempt,omitempty"`
+		Status  int    `json:"status,omitempty"`
+		Reason  string `json:"reason,omitempty"`
+		Ns      int64  `json:"ns,omitempty"`
+	}
 	wireAbort struct {
 		Ev        string `json:"ev"`
 		Benchmark string `json:"benchmark,omitempty"`
@@ -176,6 +186,15 @@ func (s *JSONL) Emit(ev Event) {
 			w.Ns = e.Duration.Nanoseconds()
 		}
 		payload = w
+	case RouteEvent:
+		w := wireRoute{
+			Ev: e.Kind(), Phase: e.Phase, Backend: e.Backend, Key: e.Key,
+			Attempt: e.Attempt, Status: e.Status, Reason: e.Reason,
+		}
+		if s.Timings {
+			w.Ns = e.Duration.Nanoseconds()
+		}
+		payload = w
 	default:
 		// Unknown event types are traced generically so a sink never
 		// silently drops data when the event set grows.
@@ -203,6 +222,7 @@ var knownKinds = map[string]bool{
 	CallEvent{}.Kind():       true,
 	AbortEvent{}.Kind():      true,
 	ServeEvent{}.Kind():      true,
+	RouteEvent{}.Kind():      true,
 }
 
 // ValidateJSONL replays a trace stream structurally: every line must be a

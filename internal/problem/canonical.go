@@ -1,6 +1,7 @@
 package problem
 
 import (
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,18 @@ import (
 // computed eagerly at construction, so this never fails and is safe to
 // call concurrently.
 func (p *Problem) CanonicalKey() string { return p.canon }
+
+// KeyHash digests CanonicalKey to a stable 64-bit value — the placement
+// key of the bddrouter's consistent-hash ring. Stability matters more
+// than the choice of function: the digest must agree across processes,
+// router restarts and releases, or cache locality evaporates on every
+// deploy. FNV-1a over the canonical key has that property (no per-process
+// seed, no map-order dependence); a regression test pins exact values.
+func (p *Problem) KeyHash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.canon))
+	return h.Sum64()
+}
 
 // canonicalSpec keeps exactly the symbols ParseSpec reads, don't-care
 // case-folded. Two specs with equal canonical forms parse to the same

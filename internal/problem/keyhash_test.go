@@ -1,0 +1,33 @@
+package problem
+
+import "testing"
+
+// KeyHash is the bddrouter's placement key: it must be equal for every
+// spelling of one instance (it digests CanonicalKey) and stable across
+// processes and releases, or a deploy reshuffles the whole fleet's cache
+// locality. The pinned constant below guards the second property; update
+// it only together with a deliberate placement-migration story.
+func TestKeyHashStability(t *testing.T) {
+	p1, err := FromSpec("d1 01 1d 01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := FromSpec(" D1  01 (1d 01) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.KeyHash() != p2.KeyHash() {
+		t.Fatalf("equal canonical instances hash differently: %#x vs %#x", p1.KeyHash(), p2.KeyHash())
+	}
+	const pinned = uint64(0xacb4a29014e38a4)
+	if got := p1.KeyHash(); got != pinned {
+		t.Fatalf("KeyHash of the Figure 1 spec = %#x, pinned %#x — changing it migrates every deployed ring", got, pinned)
+	}
+	p3, err := FromSpec("11 01 1d 01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.KeyHash() == p1.KeyHash() {
+		t.Fatalf("distinct instances share a key hash (collision in a 2-instance test is a bug)")
+	}
+}

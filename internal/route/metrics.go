@@ -1,0 +1,141 @@
+package route
+
+import (
+	"net/http"
+	"time"
+)
+
+// Wire schema of the router's own endpoints. The document shape is
+// distinct from bddmind's MetricsSnapshot on purpose — the presence of a
+// "ring" section is how tooling (cmd/bddload) tells a router apart from
+// a backend when pointed at either.
+
+// BackendSnapshot is one fleet member's row in GET /metrics.
+type BackendSnapshot struct {
+	Backend string `json:"backend"`
+	// Healthy is the prober's current verdict; Ejections and Readmissions
+	// count the transitions, ProbeFailures every failed probe.
+	Healthy      bool   `json:"healthy"`
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
+	ProbeFails   uint64 `json:"probe_failures"`
+	// Requests counts forward attempts sent to the backend; OK the 2xx
+	// answers, Rejected429 passed-through backpressure, Drain503 refusals
+	// that triggered failover, Errors transport failures.
+	Requests    uint64 `json:"requests"`
+	OK          uint64 `json:"ok"`
+	Rejected429 uint64 `json:"rejected_429"`
+	Drain503    uint64 `json:"drain_503"`
+	Errors      uint64 `json:"errors"`
+}
+
+// RingSlice describes one backend's footprint on the hash ring.
+type RingSlice struct {
+	Backend string `json:"backend"`
+	VNodes  int    `json:"vnodes"`
+	// Share is the fraction of the key space the backend owns, estimated
+	// from arc lengths.
+	Share float64 `json:"share"`
+}
+
+// RouterCounters aggregates the routing outcomes.
+type RouterCounters struct {
+	// Forwarded counts requests answered with a backend response (any
+	// status the client saw, including passed-through 429s).
+	Forwarded uint64 `json:"forwarded"`
+	// Failovers counts attempts abandoned for the next ring node
+	// (connection error or 503 drain refusal).
+	Failovers uint64 `json:"failovers"`
+	// Exhausted counts requests that ran out of candidates (502, or a
+	// replayed 503 when the whole fleet was draining).
+	Exhausted uint64 `json:"exhausted"`
+	// BadRequest counts requests rejected at the router itself
+	// (malformed JSON, unparsable instance, wrong method, oversized).
+	BadRequest uint64 `json:"bad_request"`
+}
+
+// RetryBucket is one cell of the retry histogram: requests resolved on
+// exactly Attempts forwarding attempts (the last bucket aggregates
+// everything at or beyond it).
+type RetryBucket struct {
+	Attempts int    `json:"attempts"`
+	Count    uint64 `json:"count"`
+}
+
+// MetricsSnapshot is the body of the router's GET /metrics.
+type MetricsSnapshot struct {
+	UptimeNs int64             `json:"uptime_ns"`
+	Healthy  int               `json:"healthy_backends"`
+	Backends []BackendSnapshot `json:"backends"`
+	Counters RouterCounters    `json:"counters"`
+	Retries  []RetryBucket     `json:"retries,omitempty"`
+	Ring     []RingSlice       `json:"ring"`
+}
+
+// HealthResponse is the body of the router's GET /healthz: "ok" (200)
+// while at least one backend is admitted, "unavailable" (503) otherwise.
+type HealthResponse struct {
+	State    string `json:"state"`
+	Backends int    `json:"backends"`
+	Healthy  int    `json:"healthy"`
+}
+
+// Metrics assembles the snapshot (also used by tests directly).
+func (rt *Router) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeNs: time.Since(rt.start).Nanoseconds(),
+		Healthy:  rt.Healthy(),
+		Counters: RouterCounters{
+			Forwarded:  rt.counters.forwarded.Load(),
+			Failovers:  rt.counters.failovers.Load(),
+			Exhausted:  rt.counters.exhausted.Load(),
+			BadRequest: rt.counters.badRequest.Load(),
+		},
+	}
+	for _, b := range rt.backends {
+		snap.Backends = append(snap.Backends, BackendSnapshot{
+			Backend:      b.addr,
+			Healthy:      !b.ejected.Load(),
+			Ejections:    b.ejections.Load(),
+			Readmissions: b.readmissions.Load(),
+			ProbeFails:   b.probeFails.Load(),
+			Requests:     b.requests.Load(),
+			OK:           b.ok.Load(),
+			Rejected429:  b.rejected429.Load(),
+			Drain503:     b.drain503.Load(),
+			Errors:       b.errors.Load(),
+		})
+	}
+	for i := range rt.retryHist {
+		if c := rt.retryHist[i].Load(); c > 0 {
+			snap.Retries = append(snap.Retries, RetryBucket{Attempts: i + 1, Count: c})
+		}
+	}
+	shares := rt.ring.Share()
+	for i, addr := range rt.cfg.Backends {
+		snap.Ring = append(snap.Ring, RingSlice{
+			Backend: addr,
+			VNodes:  rt.cfg.VirtualNodes,
+			Share:   shares[i],
+		})
+	}
+	return snap
+}
+
+// handleMetrics serves the router's operational snapshot.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Metrics())
+}
+
+// handleHealthz reports the router's own liveness: it is useful exactly
+// while it can still place work somewhere.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := rt.Healthy()
+	body := HealthResponse{State: "ok", Backends: len(rt.backends), Healthy: healthy}
+	status := http.StatusOK
+	if healthy == 0 {
+		body.State = "unavailable"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}

@@ -1,0 +1,206 @@
+package route
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bddmin/internal/obs"
+	"bddmin/internal/problem"
+	"bddmin/internal/serve"
+)
+
+// maxRequestBody mirrors the backend's POST /minimize bound; oversized
+// bodies are rejected at the router without burning a forward.
+const maxRequestBody = 8 << 20
+
+// maxProxiedBody bounds a buffered backend response. Covers are text
+// serializations of BDDs the engine itself built, so anything near this
+// is already pathological.
+const maxProxiedBody = 32 << 20
+
+// BackendHeader names the backend that produced a proxied response —
+// the routed side of serve.BackendHeader, which the load harness reads
+// to attribute completed requests to fleet members.
+const BackendHeader = serve.BackendHeader
+
+// Handler returns the router's HTTP mux: POST /minimize (proxied), GET
+// /healthz and GET /metrics (the router's own).
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/minimize", rt.handleMinimize)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	return mux
+}
+
+// writeJSON emits one JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+// proxied is one buffered backend response on its way back to the client.
+type proxied struct {
+	backend    string
+	status     int
+	body       []byte
+	conType    string
+	retryAfter string
+}
+
+// write replays the buffered response verbatim, stamping the backend.
+func (p *proxied) write(w http.ResponseWriter) {
+	if p.conType != "" {
+		w.Header().Set("Content-Type", p.conType)
+	}
+	if p.retryAfter != "" {
+		w.Header().Set("Retry-After", p.retryAfter)
+	}
+	w.Header().Set(BackendHeader, p.backend)
+	w.WriteHeader(p.status)
+	_, _ = w.Write(p.body)
+}
+
+// handleMinimize is the routing path: parse the job far enough to know
+// its placement key, then walk the ring until a backend answers.
+func (rt *Router) handleMinimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.counters.badRequest.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "POST only"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		rt.counters.badRequest.Add(1)
+		writeJSON(w, http.StatusRequestEntityTooLarge, serve.ErrorResponse{Error: "request body too large"})
+		return
+	}
+	var req serve.MinimizeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.counters.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return
+	}
+	// The router parses the instance exactly like the backend's admission
+	// path will, for the same reason bddmind's cache does: CanonicalKey
+	// (via KeyHash) is the identity that makes every spelling of one
+	// instance route to the one backend whose cache can answer it.
+	prob, err := problem.Parse(problem.Kind(req.Format), req.Input, req.Output, req.Node)
+	if err != nil {
+		rt.counters.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	rt.route(w, r, prob.KeyHash(), body)
+}
+
+// route walks the candidate list for key, forwarding body until a
+// backend produces a response the client should see.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body []byte) {
+	cands := rt.candidates(key)
+	if len(cands) > rt.cfg.MaxAttempts {
+		cands = cands[:rt.cfg.MaxAttempts]
+	}
+	var lastRefusal *proxied // most recent 503, replayed if everything fails
+	lastErr := "no backends configured"
+	attempt := 0
+	for _, b := range cands {
+		if attempt > 0 {
+			// Jittered pause before trying the next ring node; a client
+			// that hung up stops paying for failover it no longer wants.
+			select {
+			case <-time.After(rt.backoff()):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		attempt++
+		start := time.Now()
+		p, err := rt.forward(r, b, body)
+		if err != nil {
+			b.errors.Add(1)
+			rt.counters.failovers.Add(1)
+			lastErr = fmt.Sprintf("%s: %v", b.addr, err)
+			rt.emit(obs.RouteEvent{
+				Phase: "failover", Backend: b.addr, Key: key, Attempt: attempt,
+				Reason: "connect", Duration: time.Since(start),
+			})
+			continue
+		}
+		switch {
+		case p.status == http.StatusServiceUnavailable:
+			// Drain refusal: the backend is shutting down but its probe may
+			// not have failed yet. Take the next ring node; keep the honest
+			// 503 in hand in case the whole fleet is draining.
+			b.drain503.Add(1)
+			rt.counters.failovers.Add(1)
+			lastRefusal = p
+			rt.emit(obs.RouteEvent{
+				Phase: "failover", Backend: b.addr, Key: key, Attempt: attempt,
+				Status: p.status, Reason: "drain-503", Duration: time.Since(start),
+			})
+			continue
+		case p.status == http.StatusTooManyRequests:
+			// Backpressure is an answer, not a failure: pass it through with
+			// Retry-After intact so the client's closed loop does its job.
+			b.rejected429.Add(1)
+		case p.status >= 200 && p.status < 300:
+			b.ok.Add(1)
+		}
+		rt.counters.forwarded.Add(1)
+		rt.observeAttempts(attempt)
+		rt.emit(obs.RouteEvent{
+			Phase: "forwarded", Backend: b.addr, Key: key, Attempt: attempt,
+			Status: p.status, Duration: time.Since(start),
+		})
+		p.write(w)
+		return
+	}
+	rt.counters.exhausted.Add(1)
+	rt.observeAttempts(attempt)
+	if lastRefusal != nil {
+		rt.emit(obs.RouteEvent{Phase: "error", Key: key, Attempt: attempt, Status: lastRefusal.status, Reason: "all-draining"})
+		lastRefusal.write(w)
+		return
+	}
+	rt.emit(obs.RouteEvent{Phase: "error", Key: key, Attempt: attempt, Status: http.StatusBadGateway, Reason: "exhausted"})
+	writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+		Error: fmt.Sprintf("no backend available (last: %s)", lastErr),
+	})
+}
+
+// forward sends one POST /minimize to b and buffers the whole response.
+// The client's context rides along, so a vanished client cancels the
+// backend work through bddmind's own Budget.Ctx plumbing.
+func (rt *Router) forward(r *http.Request, b *backend, body []byte) (*proxied, error) {
+	b.requests.Add(1)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.addr+"/minimize", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := rt.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, maxProxiedBody))
+	if err != nil {
+		return nil, err
+	}
+	return &proxied{
+		backend:    b.addr,
+		status:     res.StatusCode,
+		body:       data,
+		conType:    res.Header.Get("Content-Type"),
+		retryAfter: res.Header.Get("Retry-After"),
+	}, nil
+}

@@ -1,0 +1,208 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates a deterministic pseudo-random key stream (Weyl
+// sequence through a mixer — no rand seed dependence, so failures
+// reproduce exactly).
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	x := uint64(0x243F6A8885A308D3)
+	for i := range keys {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		keys[i] = z
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingBalance checks that virtual nodes smooth the load: with enough
+// vnodes no member owns a grossly outsized key share, and raising the
+// vnode count must not make the spread worse.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(100_000)
+	mems := members(8)
+	spread := func(vnodes int) float64 {
+		r := NewRing(mems, vnodes)
+		counts := make([]int, len(mems))
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		mean := float64(len(keys)) / float64(len(mems))
+		worst := 0.0
+		for i, c := range counts {
+			dev := float64(c)/mean - 1
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worst {
+				worst = dev
+			}
+			if c == 0 {
+				t.Fatalf("vnodes=%d: member %d owns no keys at all", vnodes, i)
+			}
+		}
+		return worst
+	}
+	w32, w128, w512 := spread(32), spread(128), spread(512)
+	t.Logf("worst relative deviation: vnodes=32 %.3f, 128 %.3f, 512 %.3f", w32, w128, w512)
+	if w128 > 0.5 {
+		t.Fatalf("vnodes=128: worst member deviates %.0f%% from mean, want <= 50%%", 100*w128)
+	}
+	if w512 > 0.35 {
+		t.Fatalf("vnodes=512: worst member deviates %.0f%% from mean, want <= 35%%", 100*w512)
+	}
+}
+
+// TestRingMinimalMovementOnAdd: growing the fleet from N to N+1 moves
+// roughly 1/(N+1) of the keys, and every moved key moves TO the new
+// member — nothing reshuffles between survivors.
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	keys := testKeys(50_000)
+	before := NewRing(members(5), 128)
+	grown := members(6)
+	after := NewRing(grown, 128)
+	moved := 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		// Member indices 0..4 name the same backends in both rings.
+		if ob != oa {
+			moved++
+			if oa != 5 {
+				t.Fatalf("key %x moved from member %d to %d, not to the new member", k, ob, oa)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	t.Logf("add 6th member: %.2f%% of keys moved (ideal %.2f%%)", 100*frac, 100.0/6)
+	if moved == 0 {
+		t.Fatalf("new member received no keys")
+	}
+	if frac > 1.5/6 {
+		t.Fatalf("%.1f%% of keys moved on add, want <= %.1f%% (~1/N with slack)", 100*frac, 100*1.5/6)
+	}
+}
+
+// TestRingMinimalMovementOnRemove: shrinking the fleet moves only the
+// removed member's keys; every key owned by a survivor stays put.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	keys := testKeys(50_000)
+	mems := members(6)
+	before := NewRing(mems, 128)
+	after := NewRing(mems[:5], 128) // drop the 6th
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob != 5 && oa != ob {
+			t.Fatalf("key %x owned by surviving member %d moved to %d on unrelated removal", k, ob, oa)
+		}
+	}
+}
+
+// TestRingEjectionEquivalence: skipping a member at lookup (Order with
+// the owner removed) gives exactly the placement of a ring built without
+// that member — the property that makes health ejection cache-friendly.
+func TestRingEjectionEquivalence(t *testing.T) {
+	keys := testKeys(20_000)
+	mems := members(4)
+	full := NewRing(mems, 128)
+	without := NewRing(mems[:3], 128) // member 3 "ejected"
+	for _, k := range keys {
+		var eff int = -1
+		for _, m := range full.Order(k) {
+			if m != 3 {
+				eff = m
+				break
+			}
+		}
+		if want := without.Owner(k); eff != want {
+			t.Fatalf("key %x: skip-ejected placement %d != removed-member ring placement %d", k, eff, want)
+		}
+	}
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of the
+// member *names* — independent of listing order, of the process, and of
+// when the ring was built. Pinned owners guard cross-release stability.
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := testKeys(10_000)
+	mems := members(5)
+	r1 := NewRing(mems, 128)
+	reversed := make([]string, len(mems))
+	for i, m := range mems {
+		reversed[len(mems)-1-i] = m
+	}
+	r2 := NewRing(reversed, 128)
+	for _, k := range keys {
+		if r1.members[r1.Owner(k)] != r2.members[r2.Owner(k)] {
+			t.Fatalf("key %x: owner depends on member listing order", k)
+		}
+	}
+	// Pinned placements: if these move, every deployed router disagrees
+	// with every restarted one and fleet-wide cache locality is lost.
+	// Update them only with a schema-style migration story.
+	pins := map[uint64]string{
+		0x0102030405060708: "http://10.0.0.5:8080",
+		0xDEADBEEFCAFEF00D: "http://10.0.0.4:8080",
+		0x0000000000000001: "http://10.0.0.5:8080",
+	}
+	for k, want := range pins {
+		if got := r1.members[r1.Owner(k)]; got != want {
+			t.Errorf("pinned key %x: owner %s, want %s", k, got, want)
+		}
+	}
+}
+
+// TestRingOrder: the failover order starts at the owner, visits every
+// member exactly once, and is itself deterministic.
+func TestRingOrder(t *testing.T) {
+	r := NewRing(members(4), 64)
+	for _, k := range testKeys(1000) {
+		order := r.Order(k)
+		if len(order) != 4 {
+			t.Fatalf("Order returned %d members, want 4", len(order))
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("Order[0]=%d != Owner=%d", order[0], r.Owner(k))
+		}
+		seen := map[int]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("member %d appears twice in Order", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingShare: the reported ring composition sums to ~1 and roughly
+// tracks the measured key distribution.
+func TestRingShare(t *testing.T) {
+	r := NewRing(members(4), 256)
+	shares := r.Share()
+	sum := 0.0
+	for i, s := range shares {
+		if s <= 0 {
+			t.Fatalf("member %d has share %g", i, s)
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %g, want ~1", sum)
+	}
+}

@@ -83,6 +83,9 @@ type MinimizeResponse struct {
 	// Trace holds the request's pipeline events as JSONL objects, one per
 	// entry, when the request asked for them.
 	Trace []json.RawMessage `json:"trace,omitempty"`
+	// Backend is filled client-side from the BackendHeader of a response
+	// that came through a router; it is not part of the wire body.
+	Backend string `json:"-"`
 }
 
 // SpecEchoVars bounds the instance width up to which responses echo the
@@ -97,14 +100,23 @@ type ErrorResponse struct {
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
-// HealthResponse is the body of GET /healthz (200 when serving, 503 while
-// draining).
+// HealthResponse is the body of GET /healthz: 200 with state "ok" while
+// serving, 503 with state "draining" once a drain has started. The 503
+// begins at the *start* of the drain — while queued and in-flight work is
+// still finishing — so a health-probing router (cmd/bddrouter) ejects the
+// node before it starts refusing forwarded requests.
 type HealthResponse struct {
-	Status     string `json:"status"` // "ok" or "draining"
+	State      string `json:"state"` // "ok" or "draining"
 	Shards     int    `json:"shards"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
 }
+
+// BackendHeader is the response header a fronting router stamps with the
+// base URL of the backend that produced a proxied response. The Client
+// surfaces it as MinimizeResponse.Backend so the load harness can record
+// the per-backend request distribution; bddmind itself never sets it.
+const BackendHeader = "X-Bddmind-Backend"
 
 // ShardSnapshot is one worker's state in GET /metrics.
 type ShardSnapshot struct {

@@ -276,14 +276,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.admit.RUnlock()
 	body := HealthResponse{
-		Status:     "ok",
+		State:      "ok",
 		Shards:     len(s.workers),
 		QueueDepth: len(s.queue),
 		QueueCap:   s.cfg.QueueDepth,
 	}
 	status := http.StatusOK
 	if draining {
-		body.Status = "draining"
+		body.State = "draining"
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, body)

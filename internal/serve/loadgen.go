@@ -79,11 +79,19 @@ type LoadStats struct {
 	CacheHits   int      // responses marked cached by the server
 	Coalesced   int      // responses fanned out from a concurrent leader
 	Rejected429 int      // backpressure rejections absorbed by retry
+	ErrorCount  int      // every failed request (Errors keeps only the first errCap)
 	Errors      []string // transport/HTTP errors (capped)
 	VerifyFails []string // cover-condition violations (capped)
 	ByFormat    map[string]int
-	Elapsed     time.Duration
-	Latencies   []time.Duration // per completed request, unordered
+	// ByBackend attributes completed requests to the fleet member that
+	// produced them (from the router's X-Bddmind-Backend header); empty
+	// when the target is a single bddmind rather than a router.
+	// CacheByBackend counts the subset answered from that backend's
+	// result cache — per-node locality under consistent-hash placement.
+	ByBackend      map[string]int
+	CacheByBackend map[string]int
+	Elapsed        time.Duration
+	Latencies      []time.Duration // per completed request, unordered
 }
 
 // Throughput returns completed requests per second.
@@ -138,7 +146,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 	var (
 		issued   atomic.Int64
 		mu       sync.Mutex
-		stats    = &LoadStats{ByFormat: map[string]int{}}
+		stats    = &LoadStats{ByFormat: map[string]int{}, ByBackend: map[string]int{}, CacheByBackend: map[string]int{}}
 		wg       sync.WaitGroup
 		verifyMu sync.Mutex
 		verdicts = map[string]error{}
@@ -202,6 +210,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 					if resp.Coalesced {
 						stats.Coalesced++
 					}
+					if resp.Backend != "" {
+						stats.ByBackend[resp.Backend]++
+						if resp.Cached {
+							stats.CacheByBackend[resp.Backend]++
+						}
+					}
 					if verifyErr != nil && len(stats.VerifyFails) < errCap {
 						stats.VerifyFails = append(stats.VerifyFails, verifyErr.Error())
 					}
@@ -231,6 +245,7 @@ func submitWithRetry(ctx context.Context, c *Client, req MinimizeRequest, maxRet
 		switch {
 		case err != nil:
 			record(func() {
+				stats.ErrorCount++
 				if len(stats.Errors) < errCap {
 					stats.Errors = append(stats.Errors, err.Error())
 				}
@@ -255,6 +270,7 @@ func submitWithRetry(ctx context.Context, c *Client, req MinimizeRequest, maxRet
 				msg += ": " + errBody.Error
 			}
 			record(func() {
+				stats.ErrorCount++
 				if len(stats.Errors) < errCap {
 					stats.Errors = append(stats.Errors, msg)
 				}

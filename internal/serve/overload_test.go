@@ -143,7 +143,7 @@ func TestDrainFinishesInFlight(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if status == http.StatusServiceUnavailable && body.Status == "draining" {
+		if status == http.StatusServiceUnavailable && body.State == "draining" {
 			break
 		}
 		if time.Now().After(deadline) {

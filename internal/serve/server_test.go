@@ -251,7 +251,7 @@ func TestHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if status != http.StatusOK || body.Status != "ok" || body.Shards != 1 {
+	if status != http.StatusOK || body.State != "ok" || body.Shards != 1 {
 		t.Fatalf("healthz: %d %+v", status, body)
 	}
 }
