@@ -1,0 +1,234 @@
+package bdd
+
+import "sync"
+
+// Parallel match sessions.
+//
+// A Manager is single-goroutine: the unique table, the computed cache, the
+// signature memo and the budget counters are all written without locks. The
+// boolean match kernels, however, never create nodes (MatchOSM, MatchTSM,
+// Disjoint, Leq — the fuzz harness pins this), so the only state they touch
+// beyond the immutable node arena is per-query memoization. A MatchSession
+// exploits that: it freezes the arena and hands out per-worker *views*, each
+// with a private computed-cache shard, a private copy of the warm signature
+// memo and a private budget clone, so N goroutines can evaluate match
+// verdicts concurrently with results identical to a serial evaluation.
+//
+// Contract, enforced where cheap and documented where not:
+//
+//   - Between BeginMatchSession and Close, any operation that would create a
+//     node on the parent manager panics (mkNode guard), as does GC. The
+//     frozen arena is what makes lock-free sharing of m.nodes sound.
+//   - Each view is itself single-goroutine; Run assigns one view per worker.
+//   - The parent manager must not execute kernels concurrently with Run —
+//     its own cache and signature memo are not shared with the views, but
+//     they are also not protected from the caller's goroutine.
+//   - Close folds every shard's cache and signature counters into the parent
+//     (CacheStatsByOp and SigStats then account for the parallel work with
+//     no lost or double-counted hits) and unfreezes the manager.
+//
+// Budget semantics: every view receives a clone of the attached budget with
+// a fresh step counter; deadlines and contexts are shared values, and a
+// FailAfter fault carries over its *remaining* allowance, so an exhausted
+// budget trips on a worker's first step. A worker whose budget trips unwinds
+// with the internal abort panic; Run joins all workers and re-raises exactly
+// one abort on the calling goroutine, where the usual Budgeted/RunBudgeted
+// recovery converts it to a *AbortError. Close adds the workers' steps back
+// to the parent budget, so Steps() conserves the total work.
+
+// MatchSession is a read-only matching phase over a frozen Manager. Obtain
+// one with Manager.BeginMatchSession; release it with Close (safe under
+// defer even when Run aborts).
+type MatchSession struct {
+	parent *Manager
+	views  []*MatchView
+}
+
+// MatchView is one worker's read-only window onto the session's frozen
+// manager. It exposes exactly the node-free kernels; everything it memoizes
+// lands in worker-private storage.
+type MatchView struct {
+	m *Manager
+}
+
+// BeginMatchSession freezes the manager and returns a session with workers
+// independent views (at least one). While the session is open, node-creating
+// operations and GC on the parent panic; see the package contract above.
+// Sessions do not nest.
+func (m *Manager) BeginMatchSession(workers int) *MatchSession {
+	if m.frozen {
+		panic("bdd: BeginMatchSession during an active MatchSession")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	m.growSigMemo()
+	m.frozen = true
+	s := &MatchSession{parent: m, views: make([]*MatchView, workers)}
+	for i := 0; i < workers; i++ {
+		s.views[i] = &MatchView{m: m.shadowView(i)}
+	}
+	return s
+}
+
+// shadowView prepares the i-th pooled shadow manager as a view over the
+// current arena. Shadows persist on the parent across sessions so their
+// cache shards and signature memos are allocated once, not per level.
+func (m *Manager) shadowView(i int) *Manager {
+	var s *Manager
+	if i < len(m.shadows) {
+		s = m.shadows[i]
+	} else {
+		s = &Manager{}
+		// Shards mirror the parent's cache geometry so a one-worker session
+		// reproduces the serial lookup sequence (and its counters) exactly.
+		s.cache.init(m.cache.bits)
+		m.shadows = append(m.shadows, s)
+	}
+	s.nodes = m.nodes // shared, immutable while frozen
+	s.nvars = m.nvars
+	s.live = m.live
+	s.stNodesMade = m.stNodesMade
+	s.stSigComputed = 0
+	s.sigGen = m.sigGen
+	if cap(s.sigMemo) < len(m.sigMemo) {
+		s.sigMemo = make([]sigEntry, len(m.sigMemo))
+	} else {
+		s.sigMemo = s.sigMemo[:len(m.sigMemo)]
+	}
+	copy(s.sigMemo, m.sigMemo) // warm start: parent's memoized signatures
+	s.cache.clear()
+	m.cloneBudgetInto(s)
+	return s
+}
+
+// cloneBudgetInto attaches a per-view clone of the parent's budget (or
+// detaches, if none is attached). Limits are copied; the step counter starts
+// fresh; a FailAfter fault keeps only its remaining allowance.
+func (m *Manager) cloneBudgetInto(s *Manager) {
+	b := m.budget
+	if b == nil {
+		s.SetBudget(nil)
+		return
+	}
+	clone := Budget{
+		MaxLiveNodes: b.MaxLiveNodes,
+		MaxNodesMade: b.MaxNodesMade,
+		Deadline:     b.Deadline,
+		Ctx:          b.Ctx,
+		FailAfter:    b.FailAfter,
+		CheckEvery:   b.CheckEvery,
+	}
+	if clone.FailAfter > 0 {
+		if b.steps >= clone.FailAfter {
+			clone.FailAfter = 1 // exhaustion is persistent: trip immediately
+		} else {
+			clone.FailAfter -= b.steps
+		}
+	}
+	s.SetBudget(&clone)
+}
+
+// Workers returns the number of views the session was opened with.
+func (s *MatchSession) Workers() int { return len(s.views) }
+
+// View returns the i-th worker view. Views are valid until Close.
+func (s *MatchSession) View(i int) *MatchView { return s.views[i] }
+
+// Run executes fn(worker, view) on len(views) goroutines and joins them.
+// A budget abort inside any worker is captured, and after every worker has
+// finished, the lowest-indexed abort is re-raised on the calling goroutine
+// exactly as a serial kernel would raise it — Budgeted, RunBudgeted and the
+// anytime drivers recover it unchanged. Non-budget panics propagate.
+func (s *MatchSession) Run(fn func(worker int, v *MatchView)) {
+	n := len(s.views)
+	aborts := make([]*AbortError, n)
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if a, ok := r.(budgetAbort); ok {
+						aborts[w] = a.err
+						return
+					}
+					panics[w] = r
+				}
+			}()
+			fn(w, s.views[w])
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, a := range aborts {
+		if a != nil {
+			panic(budgetAbort{a})
+		}
+	}
+}
+
+// Close folds every view's cache and signature counters into the parent,
+// credits the workers' budget steps back to the attached budget, and
+// unfreezes the manager. Close is idempotent and must run even when Run
+// aborted — defer it next to BeginMatchSession.
+func (s *MatchSession) Close() {
+	m := s.parent
+	if m == nil {
+		return
+	}
+	for _, v := range s.views {
+		m.cache.absorbStats(&v.m.cache)
+		m.stSigComputed += v.m.stSigComputed
+		if m.budget != nil && v.m.budget != nil {
+			m.budget.steps += v.m.budget.steps
+		}
+		v.m.SetBudget(nil)
+		v.m.nodes = nil // drop the alias; the arena may grow after unfreeze
+		v.m = nil
+	}
+	m.frozen = false
+	s.parent = nil
+	s.views = nil
+}
+
+// The view kernels delegate to the shadow manager; each is the read-only
+// counterpart of the Manager method of the same name.
+
+// MatchOSM reports whether [f2, c2] OSM-matches [f1, c1]; see
+// Manager.MatchOSM.
+func (v *MatchView) MatchOSM(f1, c1, f2, c2 Ref) bool { return v.m.MatchOSM(f1, c1, f2, c2) }
+
+// MatchTSM reports whether [f1, c1] and [f2, c2] TSM-match; see
+// Manager.MatchTSM.
+func (v *MatchView) MatchTSM(f1, c1, f2, c2 Ref) bool { return v.m.MatchTSM(f1, c1, f2, c2) }
+
+// Disjoint reports whether f·g = 0; see Manager.Disjoint.
+func (v *MatchView) Disjoint(f, g Ref) bool { return v.m.Disjoint(f, g) }
+
+// Leq reports whether f ≤ g; see Manager.Leq.
+func (v *MatchView) Leq(f, g Ref) bool { return v.m.Leq(f, g) }
+
+// Signature evaluates f on the 64 fixed assignments; see Manager.Signature.
+func (v *MatchView) Signature(f Ref) uint64 { return v.m.Signature(f) }
+
+// AppendSignatures is the batch form of Signature; see
+// Manager.AppendSignatures.
+func (v *MatchView) AppendSignatures(dst []uint64, fs ...Ref) []uint64 {
+	return v.m.AppendSignatures(dst, fs...)
+}
+
+// CacheStats returns the view's private computed-cache counters — the
+// shard totals Close folds into the parent. Tests use it to assert
+// conservation.
+func (v *MatchView) CacheStats() (hits, misses uint64) { return v.m.CacheStats() }
+
+// SigStats returns the view's private signature counters; see
+// Manager.SigStats.
+func (v *MatchView) SigStats() SigStats { return v.m.SigStats() }

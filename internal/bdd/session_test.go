@@ -1,0 +1,294 @@
+package bdd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// sparseTT is a truth table with k random onset minterms — the building
+// block for near-matching fixtures.
+func sparseTT(rng *rand.Rand, n, k int) tt {
+	t := tt{n: n, bits: make([]bool, 1<<n)}
+	for i := 0; i < k; i++ {
+		t.bits[rng.Intn(len(t.bits))] = true
+	}
+	return t
+}
+
+// matchFixture builds count [f, c] pairs over nvars variables, all on m.
+// The functions are small perturbations of one shared base and the care
+// sets are dense, so the match kernels cannot be refuted by the signature
+// filter and must recurse — exercising the cache shards and the budget
+// ticks the session tests assert on. Deterministic in seed.
+func matchFixture(m *Manager, seed int64, count, nvars int) [][2]Ref {
+	rng := newRand(seed)
+	base := randTT(rng, nvars)
+	out := make([][2]Ref, count)
+	for i := range out {
+		f := base.xor(sparseTT(rng, nvars, 3))
+		c := sparseTT(rng, nvars, 4).not()
+		out[i] = [2]Ref{f.build(m), c.build(m)}
+	}
+	return out
+}
+
+// matchWorkload runs every ordered pair of the fixture through all four
+// view kernels plus a signature evaluation, returning the verdict bits in a
+// deterministic order. It is the per-view workload of the session tests.
+func matchWorkload(v *MatchView, pairs [][2]Ref, worker, workers int) []bool {
+	var out []bool
+	t := 0
+	for j := range pairs {
+		for k := range pairs {
+			if j == k {
+				continue
+			}
+			mine := t%workers == worker
+			t++
+			if !mine {
+				continue
+			}
+			a, b := pairs[j], pairs[k]
+			out = append(out,
+				v.MatchOSM(a[0], a[1], b[0], b[1]),
+				v.MatchTSM(a[0], a[1], b[0], b[1]),
+				v.Disjoint(a[0], b[0]),
+				v.Leq(a[1], b[1]))
+			_ = v.Signature(a[0])
+		}
+	}
+	return out
+}
+
+func TestMatchSessionFreezeGuards(t *testing.T) {
+	m := New(6)
+	pairs := matchFixture(m, 400, 4, 6)
+	mustPanic := func(label string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic inside an open session", label)
+			}
+		}()
+		fn()
+	}
+	ses := m.BeginMatchSession(2)
+	mustPanic("node creation", func() { randTT(newRand(401), 6).build(m) })
+	mustPanic("GC", func() { m.GC() })
+	mustPanic("nested BeginMatchSession", func() { m.BeginMatchSession(1) })
+	// Read-only kernels on the views stay available while frozen.
+	ses.Run(func(w int, v *MatchView) {
+		_ = matchWorkload(v, pairs, w, ses.Workers())
+	})
+	ses.Close()
+	ses.Close() // idempotent
+	// Unfrozen: the manager creates nodes, GCs and opens new sessions again.
+	g := randTT(newRand(401), 6).build(m)
+	if g == Zero {
+		t.Fatal("implausible constant from a random truth table")
+	}
+	m.GC()
+	ses2 := m.BeginMatchSession(3)
+	ses2.Close()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A one-worker session must replay the serial kernels exactly: same
+// verdicts, and — because the shard mirrors the parent's cache geometry and
+// starts from the parent's signature memo — the same cache and signature
+// counters, folded back on Close.
+func TestMatchSessionOneWorkerMatchesSerial(t *testing.T) {
+	build := func() (*Manager, [][2]Ref) {
+		m := New(8)
+		pairs := matchFixture(m, 410, 6, 8)
+		m.FlushCaches()
+		return m, pairs
+	}
+
+	mA, pairsA := build()
+	var serial []bool
+	for j := range pairsA {
+		for k := range pairsA {
+			if j == k {
+				continue
+			}
+			a, b := pairsA[j], pairsA[k]
+			serial = append(serial,
+				mA.MatchOSM(a[0], a[1], b[0], b[1]),
+				mA.MatchTSM(a[0], a[1], b[0], b[1]),
+				mA.Disjoint(a[0], b[0]),
+				mA.Leq(a[1], b[1]))
+			_ = mA.Signature(a[0])
+		}
+	}
+
+	mB, pairsB := build()
+	ses := mB.BeginMatchSession(1)
+	var sessioned []bool
+	ses.Run(func(w int, v *MatchView) {
+		sessioned = matchWorkload(v, pairsB, w, 1)
+	})
+	ses.Close()
+
+	if len(serial) != len(sessioned) {
+		t.Fatalf("verdict counts differ: %d serial, %d session", len(serial), len(sessioned))
+	}
+	for i := range serial {
+		if serial[i] != sessioned[i] {
+			t.Fatalf("verdict %d differs: serial %v, session %v", i, serial[i], sessioned[i])
+		}
+	}
+	statsA, statsB := mA.CacheStatsByOp(), mB.CacheStatsByOp()
+	if len(statsA) != len(statsB) {
+		t.Fatalf("per-op stats length: %d vs %d", len(statsA), len(statsB))
+	}
+	for i := range statsA {
+		if statsA[i] != statsB[i] {
+			t.Fatalf("cache stats for op %s differ: serial %+v, session %+v",
+				statsA[i].Op, statsA[i], statsB[i])
+		}
+	}
+	if sa, sb := mA.SigStats(), mB.SigStats(); sa != sb {
+		t.Fatalf("sig stats differ: serial %+v, session %+v", sa, sb)
+	}
+}
+
+// Close must fold every shard's counters into the parent: the parent's
+// post-session totals equal its pre-session totals plus the sum of the
+// per-view counters — nothing lost, nothing double-counted.
+func TestMatchSessionStatsConservation(t *testing.T) {
+	m := New(8)
+	pairs := matchFixture(m, 420, 8, 8)
+	m.FlushCaches()
+	baseHits, baseMisses := m.CacheStats()
+	baseSig := m.SigStats()
+
+	const workers = 4
+	ses := m.BeginMatchSession(workers)
+	ses.Run(func(w int, v *MatchView) {
+		_ = matchWorkload(v, pairs, w, workers)
+	})
+	var viewHits, viewMisses, viewSig uint64
+	for i := 0; i < ses.Workers(); i++ {
+		h, mi := ses.View(i).CacheStats()
+		viewHits += h
+		viewMisses += mi
+		viewSig += ses.View(i).SigStats().Computed
+	}
+	if viewMisses == 0 {
+		t.Fatal("workload exercised no cache misses; fixture too small")
+	}
+	ses.Close()
+
+	gotHits, gotMisses := m.CacheStats()
+	if gotHits != baseHits+viewHits || gotMisses != baseMisses+viewMisses {
+		t.Fatalf("cache counters not conserved: parent (%d,%d) -> (%d,%d), views sum (%d,%d)",
+			baseHits, baseMisses, gotHits, gotMisses, viewHits, viewMisses)
+	}
+	if got := m.SigStats().Computed; got != baseSig.Computed+viewSig {
+		t.Fatalf("sig counters not conserved: parent %d -> %d, views sum %d",
+			baseSig.Computed, got, viewSig)
+	}
+}
+
+// A budget abort inside a worker must surface as one ordinary *AbortError
+// on the calling goroutine, leave the manager unfrozen and reusable, and
+// conserve the budget's step accounting across the session.
+func TestMatchSessionAbortUnwinds(t *testing.T) {
+	m := New(8)
+	pairs := matchFixture(m, 430, 8, 8)
+	b := &Budget{FailAfter: 10}
+	err := m.RunBudgeted(b, func() {
+		ses := m.BeginMatchSession(4)
+		defer ses.Close()
+		ses.Run(func(w int, v *MatchView) {
+			_ = matchWorkload(v, pairs, w, ses.Workers())
+		})
+	})
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("expected *AbortError, got %v", err)
+	}
+	if abort.Reason != AbortFault {
+		t.Fatalf("abort reason = %s, want %s", abort.Reason, AbortFault)
+	}
+	if b.Steps() < 10 {
+		t.Fatalf("budget steps %d lost the workers' work (want ≥ 10)", b.Steps())
+	}
+	// The session closed during unwinding: the manager is unfrozen and
+	// fully usable, with no protection leaks.
+	if g := randTT(newRand(431), 8).build(m); g == pairs[0][0] {
+		t.Log("coincidental hit; fine")
+	}
+	m.GC()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	ses := m.BeginMatchSession(2)
+	ses.Run(func(w int, v *MatchView) {
+		_ = matchWorkload(v, pairs, w, ses.Workers())
+	})
+	ses.Close()
+}
+
+// FuzzMatchSessionAbort injects FailAfter faults at arbitrary depths inside
+// a parallel match session: whatever the abort timing, the session must
+// surface a *AbortError (or finish cleanly), leave the manager unfrozen
+// with intact invariants, and stay fully reusable.
+func FuzzMatchSessionAbort(f *testing.F) {
+	f.Add([]byte{0x0f, 0xf0, 0x55, 0xaa, 0x33, 0xcc, 0x01, 0x80}, uint16(25), uint8(3))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67}, uint16(1), uint8(1))
+	f.Add(make([]byte, 8), uint16(0), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, failAfter uint16, workers uint8) {
+		if len(data) < 8 {
+			return
+		}
+		w := int(workers%8) + 1
+		m := New(4)
+		// Four 4-variable truth tables (16 bits each) from the input.
+		word := func(off int) Ref {
+			bits := make([]bool, 16)
+			for i := range bits {
+				bits[i] = data[off+i/8]&(1<<(i%8)) != 0
+			}
+			return m.FromTruthTable(vars(4), bits)
+		}
+		pairs := [][2]Ref{{word(0), word(2)}, {word(4), word(6)}}
+		b := &Budget{FailAfter: uint64(failAfter)}
+		err := m.RunBudgeted(b, func() {
+			ses := m.BeginMatchSession(w)
+			defer ses.Close()
+			ses.Run(func(worker int, v *MatchView) {
+				for rep := 0; rep < 4; rep++ {
+					_ = matchWorkload(v, pairs, worker, ses.Workers())
+				}
+			})
+		})
+		if err != nil {
+			var abort *AbortError
+			if !errors.As(err, &abort) {
+				t.Fatalf("non-abort error from session: %v", err)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("manager corrupted after session abort: %v", err)
+		}
+		// Unfrozen and reusable: build nodes, GC, run another session.
+		g := m.And(pairs[0][0], pairs[1][0].Not())
+		m.GC()
+		ses := m.BeginMatchSession(2)
+		ok := false
+		ses.Run(func(worker int, v *MatchView) {
+			if worker == 0 {
+				ok = v.Leq(g, pairs[0][0])
+			}
+		})
+		ses.Close()
+		if !ok {
+			t.Fatal("f·¬g ≤ f must hold; kernel state corrupted")
+		}
+	})
+}

@@ -141,7 +141,7 @@ func (o *OptLv) MinimizeBudgeted(m *bdd.Manager, f, c bdd.Ref, b *bdd.Budget) (b
 		var next ISF
 		var stats LevelMatchStats
 		err := m.Budgeted(func() {
-			next, stats = minimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit, sc)
+			next, stats = minimizeAtLevel(m, cur, bdd.Var(i), cr, o.Limit, o.MatchWorkers, sc)
 		})
 		if err != nil {
 			stats.Aborted = true
@@ -150,12 +150,7 @@ func (o *OptLv) MinimizeBudgeted(m *bdd.Manager, f, c bdd.Ref, b *bdd.Budget) (b
 			cur = next
 		}
 		if o.Trace != nil {
-			o.Trace.Emit(obs.LevelMatchEvent{
-				Level: i, Criterion: cr.String(),
-				Pairs: stats.Pairs, Edges: stats.Edges, Cliques: stats.Cliques,
-				Replaced: stats.Replaced, Pruned: stats.Pruned, Aborted: stats.Aborted,
-				Duration: time.Since(start),
-			})
+			o.Trace.Emit(levelMatchEvent(i, cr, stats, sc, time.Since(start)))
 		}
 		if info.Aborted {
 			break
@@ -285,7 +280,7 @@ func (r *Robust) MinimizeBudgeted(m *bdd.Manager, f, c bdd.Ref, b *bdd.Budget) (
 	if sibInfo.Aborted {
 		info = sibInfo
 	} else if m.Density(c) > threshold {
-		lv := &OptLv{Limit: r.Limit}
+		lv := &OptLv{Limit: r.Limit, MatchWorkers: r.MatchWorkers}
 		g, lvInfo := lv.MinimizeBudgeted(m, f, c, nil)
 		consider(g)
 		if lvInfo.Aborted {

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"bddmin/internal/bdd"
+	"bddmin/internal/obs"
+)
+
+// lvOutcome is everything a level-match round produces that the
+// determinism contract covers: the output cover (as a truth table), the
+// full stats block, and the worker split.
+type lvOutcome struct {
+	f, c  string
+	stats LevelMatchStats
+	split []int
+}
+
+// runLevels executes MinimizeAtLevelParallel on a freshly built instance at
+// every level and both criteria, returning the outcomes in order. The
+// instance is rebuilt from seed for every call, so outcomes from different
+// worker counts are comparable function-by-function.
+func runLevels(t *testing.T, seed int64, n, workers int) []lvOutcome {
+	t.Helper()
+	m := bdd.New(n)
+	rng := newRand(seed)
+	in := randISF(rng, m, n)
+	var out []lvOutcome
+	for _, cr := range []Criterion{OSM, TSM} {
+		for lvl := 0; lvl < n-1; lvl++ {
+			res, stats, split := MinimizeAtLevelParallel(m, in, bdd.Var(lvl), cr, 0, workers)
+			out = append(out, lvOutcome{
+				f:     FormatSpec(m, ISF{F: res.F, C: bdd.One}, n),
+				c:     FormatSpec(m, ISF{F: res.C, C: bdd.One}, n),
+				stats: stats,
+				split: split,
+			})
+		}
+	}
+	return out
+}
+
+// The tentpole's determinism contract: covers and the complete
+// LevelMatchStats (including Pruned) are byte-identical across worker
+// counts, and the worker split partitions the candidate set exactly.
+func TestParallelLevelMatchDeterminism(t *testing.T) {
+	const n = 9
+	base := runLevels(t, 500, n, 1)
+	for i, o := range base {
+		if o.split != nil {
+			t.Fatalf("round %d: serial run reported a worker split %v", i, o.split)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := runLevels(t, 500, n, workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d rounds, want %d", workers, len(got), len(base))
+		}
+		engaged := false
+		for i := range got {
+			if got[i].f != base[i].f || got[i].c != base[i].c {
+				t.Fatalf("workers=%d round %d: output cover differs from serial", workers, i)
+			}
+			if got[i].stats != base[i].stats {
+				t.Fatalf("workers=%d round %d: stats %+v, serial %+v",
+					workers, i, got[i].stats, base[i].stats)
+			}
+			if len(got[i].split) == 0 {
+				continue
+			}
+			engaged = true
+			total := 0
+			for _, c := range got[i].split {
+				total += c
+			}
+			p := got[i].stats.Pairs
+			want := p * (p - 1) // OSM: full off-diagonal matrix
+			if i >= (n-1) && p > 1 {
+				want = p * (p - 1) / 2 // TSM rounds: upper triangle
+			}
+			if p > 1 && total != want {
+				t.Fatalf("workers=%d round %d: split %v covers %d candidates, want %d",
+					workers, i, got[i].split, total, want)
+			}
+		}
+		if !engaged {
+			t.Fatalf("workers=%d: no round engaged the parallel path; instance too small", workers)
+		}
+	}
+}
+
+// OptLv with MatchWorkers set must return exactly the serial cover — the
+// knob buys wall-clock time, never a different result.
+func TestMatchWorkersOptLvIdentical(t *testing.T) {
+	run := func(workers int, useOSM bool) (string, int) {
+		m := bdd.New(8)
+		rng := newRand(510)
+		in := randISF(rng, m, 8)
+		o := &OptLv{UseOSM: useOSM, MatchWorkers: workers}
+		g := o.Minimize(m, in.F, in.C)
+		requireCover(t, m, g, in, "opt_lv parallel")
+		return FormatSpec(m, ISF{F: g, C: bdd.One}, 8), m.Size(g)
+	}
+	for _, useOSM := range []bool{false, true} {
+		baseSpec, baseSize := run(1, useOSM)
+		for _, workers := range []int{2, 8} {
+			spec, size := run(workers, useOSM)
+			if spec != baseSpec || size != baseSize {
+				t.Fatalf("useOSM=%v workers=%d: cover (size %d) differs from serial (size %d)",
+					useOSM, workers, size, baseSize)
+			}
+		}
+	}
+}
+
+// The scheduler and robust drivers thread the knob through to the same
+// level matcher; their end-to-end results must be worker-count invariant
+// too.
+func TestMatchWorkersSchedulerRobustIdentical(t *testing.T) {
+	run := func(h func(workers int) Minimizer, workers int) (string, int) {
+		m := bdd.New(8)
+		rng := newRand(520)
+		in := randISF(rng, m, 8)
+		g := h(workers).Minimize(m, in.F, in.C)
+		requireCover(t, m, g, in, "parallel driver")
+		return FormatSpec(m, ISF{F: g, C: bdd.One}, 8), m.Size(g)
+	}
+	drivers := map[string]func(workers int) Minimizer{
+		"sched":  func(w int) Minimizer { return &Scheduler{MatchWorkers: w} },
+		"robust": func(w int) Minimizer { return &Robust{OnsetThreshold: -1, MatchWorkers: w} },
+	}
+	for name, mk := range drivers {
+		baseSpec, baseSize := run(mk, 1)
+		for _, workers := range []int{2, 8} {
+			spec, size := run(mk, workers)
+			if spec != baseSpec || size != baseSize {
+				t.Fatalf("%s workers=%d: cover (size %d) differs from serial (size %d)",
+					name, workers, size, baseSize)
+			}
+		}
+	}
+}
+
+// WithMatchWorkers must configure without mutating its input — shared
+// registry instances are used concurrently by the parallel harness.
+func TestWithMatchWorkersCopies(t *testing.T) {
+	o := &OptLv{Limit: 7}
+	got := WithMatchWorkers(o, 4)
+	if o.MatchWorkers != 0 {
+		t.Fatal("WithMatchWorkers mutated its input")
+	}
+	c, ok := got.(*OptLv)
+	if !ok || c.MatchWorkers != 4 || c.Limit != 7 {
+		t.Fatalf("WithMatchWorkers returned %+v", got)
+	}
+	s := NewSiblingHeuristic(OSM, true, true)
+	if WithMatchWorkers(s, 4) != Minimizer(s) {
+		t.Fatal("sibling heuristics have no worker knob and must pass through")
+	}
+	tr := Traced(&Robust{}, &countingTracer{})
+	wrapped := WithMatchWorkers(tr, 3)
+	inner, ok := wrapped.(*tracedMinimizer)
+	if !ok {
+		t.Fatalf("traced wrapper lost: %T", wrapped)
+	}
+	if r, ok := inner.h.(*Robust); !ok || r.MatchWorkers != 3 {
+		t.Fatalf("knob did not reach through Traced: %+v", inner.h)
+	}
+}
+
+type countingTracer struct{ n int }
+
+func (c *countingTracer) Emit(obs.Event) { c.n++ }

@@ -21,6 +21,9 @@ type Robust struct {
 	OnsetThreshold float64
 	// Limit bounds the level matcher's collected set size (0 = unlimited).
 	Limit int
+	// MatchWorkers is passed through to the level matcher when it runs; see
+	// OptLv.MatchWorkers.
+	MatchWorkers int
 }
 
 // Name returns "robust".
@@ -44,7 +47,7 @@ func (r *Robust) Minimize(m *bdd.Manager, f, c bdd.Ref) bdd.Ref {
 	}
 	consider(NewSiblingHeuristic(OSM, true, true).Minimize(m, f, c))
 	if m.Density(c) > threshold {
-		lv := &OptLv{Limit: r.Limit}
+		lv := &OptLv{Limit: r.Limit, MatchWorkers: r.MatchWorkers}
 		consider(lv.Minimize(m, f, c))
 	}
 	return best

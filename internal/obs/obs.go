@@ -86,7 +86,13 @@ type LevelMatchEvent struct {
 	Replaced  int    // pairs replaced by an i-cover
 	Pruned    int    // candidate pairs rejected by the signature filter
 	Aborted   bool   // round cut short by a budget abort; result discarded
-	Duration  time.Duration
+	// Workers is the match-kernel worker count when the round's pair matrix
+	// was evaluated by a parallel session, and 0 for a serial round;
+	// WorkerPairs then holds the candidate pairs each worker evaluated.
+	// Serial rounds leave both unset, so serial traces are unchanged.
+	Workers     int
+	WorkerPairs []int
+	Duration    time.Duration
 }
 
 // Kind implements Event.
@@ -247,9 +253,15 @@ type Buffer struct {
 // Emit implements Tracer. Slice-carrying events are deep-copied so the
 // buffer stays valid after the emitter reuses its scratch space.
 func (b *Buffer) Emit(ev Event) {
-	if ce, ok := ev.(CacheEvent); ok {
-		ce.Ops = append([]CacheOpStats(nil), ce.Ops...)
-		ev = ce
+	switch e := ev.(type) {
+	case CacheEvent:
+		e.Ops = append([]CacheOpStats(nil), e.Ops...)
+		ev = e
+	case LevelMatchEvent:
+		if e.WorkerPairs != nil {
+			e.WorkerPairs = append([]int(nil), e.WorkerPairs...)
+			ev = e
+		}
 	}
 	b.Events = append(b.Events, ev)
 }

@@ -62,6 +62,12 @@ type Config struct {
 	// MaxTimeout clamps requests that do. Zero means no limit.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// MaxMatchWorkers caps every request's match_workers knob (parallel
+	// level matching; see core.WithMatchWorkers). 0 — the default —
+	// disables parallel matching: every request runs the serial matcher
+	// regardless of what it asked for. Worker counts never change results,
+	// so the cap affects only shard CPU usage.
+	MaxMatchWorkers int
 	// RetryAfter is the backoff hint attached to 429 responses (default
 	// 500ms).
 	RetryAfter time.Duration
@@ -118,9 +124,12 @@ type task struct {
 	trace    bool
 	nodesCap uint64
 	deadline time.Time
-	ctx      context.Context
-	enq      time.Time
-	resp     chan *MinimizeResponse // buffered; worker never blocks
+	// matchWorkers is the request's effective level-match worker count
+	// after the MaxMatchWorkers clamp (≤ 1 = serial).
+	matchWorkers int
+	ctx          context.Context
+	enq          time.Time
+	resp         chan *MinimizeResponse // buffered; worker never blocks
 }
 
 // worker is one shard: a goroutine with a private manager.
@@ -377,7 +386,9 @@ func (s *Server) runJob(w *worker, t *task, start time.Time) (resp *MinimizeResp
 		g, resp.Trivial = tg, true
 	} else {
 		buf := &obs.Buffer{}
-		h := core.Instrument(t.heu, buf)
+		// WithMatchWorkers copies before Instrument mutates, so the shared
+		// registry instance behind t.heu is never written from a shard.
+		h := core.Instrument(core.WithMatchWorkers(t.heu, t.matchWorkers), buf)
 		b := s.budgetFor(t)
 		var ab core.AbortInfo
 		g, ab = core.MinimizeAnytime(h, m, in.F, in.C, b)
