@@ -18,10 +18,12 @@
 //
 // -addr may point at a bddrouter instead of a single bddmind: the harness
 // then also records the per-backend request distribution and per-backend
-// cache hits (from the router's X-Bddmind-Backend response header) and
+// cache hits (from the router's X-Bddmind-Backend response header),
 // embeds the router's /metrics snapshot — ejections, failovers, retry
-// histogram and ring composition — in the report's router_metrics field
-// (schema bddmin-bench-serve/3).
+// histogram and ring composition — in the report's router_metrics field,
+// and distills the grey-failure counters (hedges, breaker transitions,
+// deadline 504s, attempt histogram) into router_grey (schema
+// bddmin-bench-serve/4).
 //
 // The corpus format is one instance per line: a leaf-notation spec, or
 // `@pla path [output]` / `@blif path [node]` file references resolved
@@ -44,6 +46,7 @@ import (
 
 	"bddmin/internal/harness"
 	"bddmin/internal/problem"
+	"bddmin/internal/route"
 	"bddmin/internal/serve"
 )
 
@@ -126,6 +129,7 @@ func main() {
 		CacheHits:        stats.CacheHits,
 		Coalesced:        stats.Coalesced,
 		CacheHitRate:     frac(stats.CacheHits+stats.Coalesced, stats.Requests),
+		StatusCounts:     stats.StatusCounts,
 	}
 	if len(stats.ByBackend) > 0 {
 		report.BackendDistribution = stats.ByBackend
@@ -144,6 +148,10 @@ func main() {
 		switch {
 		case len(probe.Ring) > 0:
 			report.RouterMetrics = raw
+			var rs route.MetricsSnapshot
+			if json.Unmarshal(raw, &rs) == nil {
+				report.RouterGrey = greySummary(rs)
+			}
 		case len(probe.Shards) > 0:
 			report.Metrics = raw
 			report.Shards = len(probe.Shards)
@@ -196,6 +204,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bddload: only %d of %d requests completed\n", stats.Requests, *n)
 		os.Exit(1)
 	}
+}
+
+// greySummary distills a router metrics snapshot into the schema-/4
+// grey-failure digest: the router-level tail-tolerance counters, the
+// breaker evidence summed over the fleet, and the attempt histogram.
+func greySummary(rs route.MetricsSnapshot) *harness.RouterGreySummary {
+	g := &harness.RouterGreySummary{
+		Failovers:            rs.Counters.Failovers,
+		Hedges:               rs.Counters.Hedges,
+		HedgeWins:            rs.Counters.HedgeWins,
+		Retried5xx:           rs.Counters.Retried5xx,
+		DeadlineExceeded:     rs.Counters.DeadlineExceeded,
+		BreakerFastFails:     rs.Counters.BreakerFastFails,
+		RetryBudgetExhausted: rs.Counters.RetryBudgetExhausted,
+	}
+	for _, b := range rs.Backends {
+		g.BreakerOpens += b.BreakerOpens
+		g.BreakerCloses += b.BreakerCloses
+		g.Timeouts += b.Timeouts
+		g.Truncated += b.Truncated
+		g.Corrupt += b.Corrupt
+	}
+	if len(rs.Retries) > 0 {
+		g.AttemptHistogram = make(map[int]uint64, len(rs.Retries))
+		for _, rb := range rs.Retries {
+			g.AttemptHistogram[rb.Attempts] = rb.Count
+		}
+	}
+	return g
 }
 
 func frac(a, b int) float64 {

@@ -27,8 +27,15 @@ import (
 // The aggregate CacheHitRate is unchanged in meaning: against a router
 // it is the fleet-wide rate, since every response carries its own
 // backend's cache verdict.
+//
+// Schema /4 adds the grey-failure record: StatusCounts histograms every
+// terminal HTTP status the harness saw, and RouterGrey summarizes the
+// router's tail-tolerance counters — failovers, hedges and hedge wins,
+// one-shot 5xx retries, deadline-exceeded 504s, circuit-breaker
+// open/close transitions and fast-fails, retry-budget exhaustion, and
+// the per-attempt resolution histogram.
 type ServeBenchReport struct {
-	Schema      string    `json:"schema"` // "bddmin-bench-serve/3"
+	Schema      string    `json:"schema"` // "bddmin-bench-serve/4"
 	Timestamp   time.Time `json:"timestamp"`
 	URL         string    `json:"url"`
 	Shards      int       `json:"shards,omitempty"` // from /metrics, when reachable
@@ -72,10 +79,42 @@ type ServeBenchReport struct {
 	// RouterMetrics embeds the router's final GET /metrics snapshot when
 	// the target was a bddrouter (the document with the "ring" section).
 	RouterMetrics json.RawMessage `json:"router_metrics,omitempty"`
+	// StatusCounts histograms the terminal HTTP status of every attempt
+	// the harness made (status 0 = transport error); retried 429s appear
+	// under 429 in addition to their eventual terminal status.
+	StatusCounts map[int]int `json:"status_counts,omitempty"`
+	// RouterGrey summarizes the router's grey-failure counters for a
+	// routed run; nil for single-node runs.
+	RouterGrey *RouterGreySummary `json:"router_grey,omitempty"`
+}
+
+// RouterGreySummary is the schema-/4 digest of the router's
+// tail-tolerance machinery over one load run: how often requests failed
+// over, hedged, were retried after a 5xx, hit their deadline, or were
+// refused by an open circuit or an exhausted retry budget — plus the
+// breaker transitions and in-band failure evidence summed over the
+// fleet, and how many attempts requests needed to resolve.
+type RouterGreySummary struct {
+	Failovers            uint64 `json:"failovers"`
+	Hedges               uint64 `json:"hedges"`
+	HedgeWins            uint64 `json:"hedge_wins"`
+	Retried5xx           uint64 `json:"retried_5xx"`
+	DeadlineExceeded     uint64 `json:"deadline_exceeded"`
+	BreakerFastFails     uint64 `json:"breaker_fast_fails"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted"`
+	// Summed over all backends.
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerCloses uint64 `json:"breaker_closes"`
+	Timeouts      uint64 `json:"timeouts"`
+	Truncated     uint64 `json:"truncated"`
+	Corrupt       uint64 `json:"corrupt"`
+	// AttemptHistogram maps forwarding attempts used → requests resolved
+	// with that many (the router's retry histogram).
+	AttemptHistogram map[int]uint64 `json:"attempt_histogram,omitempty"`
 }
 
 // ServeBenchSchema identifies the BENCH_serve.json layout version.
-const ServeBenchSchema = "bddmin-bench-serve/3"
+const ServeBenchSchema = "bddmin-bench-serve/4"
 
 // WriteServeJSON emits the report as indented JSON.
 func WriteServeJSON(w io.Writer, r ServeBenchReport) error {

@@ -197,19 +197,28 @@ func (ServeEvent) Kind() string { return "serve" }
 // RouteEvent reports one transition in the bddrouter, the stateless
 // consistent-hash front of a multi-node bddmind fleet: a request placed on
 // its ring-home backend and "forwarded" (Attempt 1), a "failover" when a
-// backend refused with 503 or was unreachable and the next ring node was
-// tried (Attempt counts from 1 per request), a terminal "error" when every
-// candidate was exhausted, and the health prober's "ejected"/"readmitted"
-// membership transitions. Key is the placement hash (problem.KeyHash) so a
-// trace can be joined against ring positions; it is 0 for health events,
-// which concern a backend rather than a request.
+// backend refused with 503, was unreachable, stalled past the attempt
+// timeout, answered a 5xx, or returned a truncated or corrupt body and the
+// next ring node was tried (Attempt counts from 1 per request), a "hedge"
+// when a duplicate attempt was raced against a slow one, the grey-failure
+// machinery's "breaker-open" and "deadline-exceeded" transitions, a
+// terminal "error" when every candidate was exhausted, and the health
+// prober's "ejected"/"readmitted" membership transitions. Key is the
+// placement hash (problem.KeyHash) so a trace can be joined against ring
+// positions; it is 0 for health and breaker events, which concern a
+// backend rather than a request.
 type RouteEvent struct {
-	Phase    string // "forwarded", "failover", "error", "ejected", "readmitted"
-	Backend  string // backend base URL the transition concerns
-	Key      uint64 // consistent-hash placement key (0 for health events)
-	Attempt  int    // 1-based forwarding attempt within the request
-	Status   int    // backend HTTP status (forwarding phases, 0 on transport error)
-	Reason   string // failover/ejection cause, e.g. "connect", "drain-503", "probe"
+	// Phase is one of "forwarded", "failover", "hedge", "breaker-open",
+	// "deadline-exceeded", "error", "ejected", "readmitted".
+	Phase   string
+	Backend string // backend base URL the transition concerns
+	Key     uint64 // consistent-hash placement key (0 for health events)
+	Attempt int    // 1-based forwarding attempt within the request
+	Status  int    // backend HTTP status (forwarding phases, 0 on transport error)
+	// Reason is the failover/ejection/breaker cause, e.g. "connect",
+	// "timeout", "truncated", "corrupt", "5xx", "drain-503",
+	// "retry-budget", "breaker-open", "probe".
+	Reason   string
 	Duration time.Duration
 }
 

@@ -1,0 +1,185 @@
+package route
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-backend circuit breaking and the global retry budget — the two
+// mechanisms that keep a sick fleet from amplifying its own sickness.
+//
+// The health prober (health.go) catches *clean* failures: a dead process
+// refuses its probe connection and is ejected. A grey failure is the
+// opposite case — the backend answers /healthz promptly but stalls,
+// truncates or 500s the real work — and only in-band evidence can catch
+// it. The breaker accumulates that evidence per backend: consecutive
+// forward failures (attempt timeouts, transport errors, truncated or
+// corrupt responses, 5xx statuses) open the circuit, an open circuit is
+// skipped during candidate selection the way an ejected backend is, and
+// after a cooldown exactly one probe request (half-open) decides between
+// closing the circuit and re-opening it. The breaker composes with
+// probe-based ejection rather than replacing it: either signal alone
+// removes the backend from first-choice placement, and a probe-based
+// re-admission resets the breaker so a restarted backend starts clean.
+//
+// The retry budget is the second guard: failover and hedging multiply
+// request volume exactly when the fleet is least able to absorb it. The
+// token bucket caps that amplification globally — every *extra* attempt
+// (a failover retry or a hedge; never the first attempt of a request)
+// spends one token, and tokens are earned as a fraction of incoming
+// requests. When the bucket runs dry the router degrades to fast, honest
+// errors instead of a retry storm.
+
+// Breaker states.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateName renders a state for /metrics and traces.
+func breakerStateName(s int32) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one backend's circuit. All transitions happen under mu; the
+// counters are read by /metrics through snapshot.
+type breaker struct {
+	mu          sync.Mutex
+	state       int32
+	consecFails int
+	openedAt    time.Time
+	probing     bool // half-open: the single probe slot is taken
+
+	opens  uint64
+	closes uint64
+}
+
+// allow reports whether an attempt may be sent through this circuit now.
+// A closed circuit always admits. An open circuit admits nothing until
+// cooldown has elapsed, then transitions to half-open and admits exactly
+// one probe attempt; further calls are refused until that probe reports
+// its outcome.
+func (br *breaker) allow(now time.Time, cooldown time.Duration) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	switch br.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(br.openedAt) < cooldown {
+			return false
+		}
+		br.state = breakerHalfOpen
+		br.probing = true
+		return true
+	default: // half-open
+		if br.probing {
+			return false
+		}
+		br.probing = true
+		return true
+	}
+}
+
+// onSuccess records an in-band success: the circuit closes and the
+// failure streak resets.
+func (br *breaker) onSuccess() {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.state != breakerClosed {
+		br.closes++
+	}
+	br.state = breakerClosed
+	br.consecFails = 0
+	br.probing = false
+}
+
+// onFailure records an in-band failure. It returns true when this failure
+// opened the circuit (closed→open on reaching threshold, or a failed
+// half-open probe), so the caller can emit the transition exactly once.
+func (br *breaker) onFailure(now time.Time, threshold int) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	switch br.state {
+	case breakerHalfOpen:
+		br.state = breakerOpen
+		br.openedAt = now
+		br.probing = false
+		br.opens++
+		return true
+	case breakerClosed:
+		br.consecFails++
+		if br.consecFails >= threshold {
+			br.state = breakerOpen
+			br.openedAt = now
+			br.opens++
+			return true
+		}
+	}
+	return false
+}
+
+// reset returns the circuit to closed without counting a close transition
+// caused by in-band evidence — used when the health prober re-admits a
+// backend, which means a fresh (probably restarted) process.
+func (br *breaker) reset() {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.state != breakerClosed {
+		br.closes++
+	}
+	br.state = breakerClosed
+	br.consecFails = 0
+	br.probing = false
+}
+
+// snapshot returns (state name, opens, closes) for /metrics.
+func (br *breaker) snapshot() (string, uint64, uint64) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return breakerStateName(br.state), br.opens, br.closes
+}
+
+// retryBudget is the global token bucket bounding retry amplification.
+// The bucket starts full (a cold router may retry freely); each incoming
+// request deposits ratio tokens, each extra attempt withdraws one.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+func newRetryBudget(max int, ratio float64) *retryBudget {
+	return &retryBudget{tokens: float64(max), max: float64(max), ratio: ratio}
+}
+
+// deposit credits the bucket for one incoming request.
+func (rb *retryBudget) deposit() {
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.max {
+		rb.tokens = rb.max
+	}
+	rb.mu.Unlock()
+}
+
+// withdraw takes one token for an extra attempt, reporting whether the
+// budget allowed it.
+func (rb *retryBudget) withdraw() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}

@@ -36,6 +36,10 @@ func (rt *Router) probeLoop(b *backend) {
 			if b.ejected.Load() && consecOK >= rt.cfg.ReviveAfter {
 				b.ejected.Store(false)
 				b.readmissions.Add(1)
+				// A probe-based re-admission means a fresh (probably
+				// restarted) process: clear any in-band circuit evidence so
+				// the backend re-enters first-choice placement clean.
+				b.br.reset()
 				rt.emit(obs.RouteEvent{Phase: "readmitted", Backend: b.addr, Reason: "probe"})
 			}
 		} else {

@@ -27,6 +27,19 @@ type BackendSnapshot struct {
 	Rejected429 uint64 `json:"rejected_429"`
 	Drain503    uint64 `json:"drain_503"`
 	Errors      uint64 `json:"errors"`
+	// Grey-failure evidence: Timeouts counts attempts abandoned at the
+	// attempt timeout, Truncated responses over the proxied-body limit,
+	// Corrupt 2xx answers with invalid JSON bodies, Retried5xx 5xx answers
+	// that were given one failover.
+	Timeouts   uint64 `json:"timeouts"`
+	Truncated  uint64 `json:"truncated"`
+	Corrupt    uint64 `json:"corrupt"`
+	Retried5xx uint64 `json:"retried_5xx"`
+	// BreakerState is the circuit's current state (closed / open /
+	// half-open); BreakerOpens and BreakerCloses count the transitions.
+	BreakerState  string `json:"breaker_state"`
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerCloses uint64 `json:"breaker_closes"`
 }
 
 // RingSlice describes one backend's footprint on the hash ring.
@@ -52,6 +65,21 @@ type RouterCounters struct {
 	// BadRequest counts requests rejected at the router itself
 	// (malformed JSON, unparsable instance, wrong method, oversized).
 	BadRequest uint64 `json:"bad_request"`
+	// Hedges counts hedge attempts launched after HedgeDelay; HedgeWins
+	// the requests whose hedge answered first.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// DeadlineExceeded counts requests terminated with 504 at their
+	// end-to-end deadline before any backend answered.
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	// Retried5xx counts the one-shot failovers granted to backend 5xx
+	// answers.
+	Retried5xx uint64 `json:"retried_5xx"`
+	// BreakerFastFails counts requests refused immediately (503) because
+	// every candidate's circuit was open; RetryBudgetExhausted counts
+	// extra attempts (failovers or hedges) denied by the retry budget.
+	BreakerFastFails     uint64 `json:"breaker_fast_fails"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted"`
 }
 
 // RetryBucket is one cell of the retry histogram: requests resolved on
@@ -86,24 +114,38 @@ func (rt *Router) Metrics() MetricsSnapshot {
 		UptimeNs: time.Since(rt.start).Nanoseconds(),
 		Healthy:  rt.Healthy(),
 		Counters: RouterCounters{
-			Forwarded:  rt.counters.forwarded.Load(),
-			Failovers:  rt.counters.failovers.Load(),
-			Exhausted:  rt.counters.exhausted.Load(),
-			BadRequest: rt.counters.badRequest.Load(),
+			Forwarded:            rt.counters.forwarded.Load(),
+			Failovers:            rt.counters.failovers.Load(),
+			Exhausted:            rt.counters.exhausted.Load(),
+			BadRequest:           rt.counters.badRequest.Load(),
+			Hedges:               rt.counters.hedges.Load(),
+			HedgeWins:            rt.counters.hedgeWins.Load(),
+			DeadlineExceeded:     rt.counters.deadlineExceeded.Load(),
+			Retried5xx:           rt.counters.retried5xx.Load(),
+			BreakerFastFails:     rt.counters.breakerFastFail.Load(),
+			RetryBudgetExhausted: rt.counters.retryStarved.Load(),
 		},
 	}
 	for _, b := range rt.backends {
+		brState, brOpens, brCloses := b.br.snapshot()
 		snap.Backends = append(snap.Backends, BackendSnapshot{
-			Backend:      b.addr,
-			Healthy:      !b.ejected.Load(),
-			Ejections:    b.ejections.Load(),
-			Readmissions: b.readmissions.Load(),
-			ProbeFails:   b.probeFails.Load(),
-			Requests:     b.requests.Load(),
-			OK:           b.ok.Load(),
-			Rejected429:  b.rejected429.Load(),
-			Drain503:     b.drain503.Load(),
-			Errors:       b.errors.Load(),
+			Backend:       b.addr,
+			Healthy:       !b.ejected.Load(),
+			Ejections:     b.ejections.Load(),
+			Readmissions:  b.readmissions.Load(),
+			ProbeFails:    b.probeFails.Load(),
+			Requests:      b.requests.Load(),
+			OK:            b.ok.Load(),
+			Rejected429:   b.rejected429.Load(),
+			Drain503:      b.drain503.Load(),
+			Errors:        b.errors.Load(),
+			Timeouts:      b.timeouts.Load(),
+			Truncated:     b.truncated.Load(),
+			Corrupt:       b.corrupt.Load(),
+			Retried5xx:    b.retried5xx.Load(),
+			BreakerState:  brState,
+			BreakerOpens:  brOpens,
+			BreakerCloses: brCloses,
 		})
 	}
 	for i := range rt.retryHist {

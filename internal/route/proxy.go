@@ -2,10 +2,13 @@ package route
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"bddmin/internal/obs"
@@ -17,15 +20,15 @@ import (
 // bodies are rejected at the router without burning a forward.
 const maxRequestBody = 8 << 20
 
-// maxProxiedBody bounds a buffered backend response. Covers are text
-// serializations of BDDs the engine itself built, so anything near this
-// is already pathological.
-const maxProxiedBody = 32 << 20
-
 // BackendHeader names the backend that produced a proxied response —
 // the routed side of serve.BackendHeader, which the load harness reads
 // to attribute completed requests to fleet members.
 const BackendHeader = serve.BackendHeader
+
+// errOversized marks a backend response that exceeded MaxProxiedBody.
+// The attempt fails (and is eligible for failover) instead of silently
+// replaying a truncated prefix as if it were the whole answer.
+var errOversized = errors.New("response body exceeds the proxied-body limit")
 
 // Handler returns the router's HTTP mux: POST /minimize (proxied), GET
 // /healthz and GET /metrics (the router's own).
@@ -69,7 +72,8 @@ func (p *proxied) write(w http.ResponseWriter) {
 }
 
 // handleMinimize is the routing path: parse the job far enough to know
-// its placement key, then walk the ring until a backend answers.
+// its placement key and its latency budget, then run the grey-failure
+// request lifecycle against the ring.
 func (rt *Router) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		rt.counters.badRequest.Add(1)
@@ -80,7 +84,14 @@ func (rt *Router) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
 		rt.counters.badRequest.Add(1)
-		writeJSON(w, http.StatusRequestEntityTooLarge, serve.ErrorResponse{Error: "request body too large"})
+		// Only an actual over-limit read is "too large"; any other body
+		// read failure is the client's connection dying mid-upload.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, serve.ErrorResponse{Error: "request body too large"})
+		} else {
+			writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: fmt.Sprintf("client gone or request body unreadable: %v", err)})
+		}
 		return
 	}
 	var req serve.MinimizeRequest
@@ -99,102 +110,393 @@ func (rt *Router) handleMinimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
 		return
 	}
-	rt.route(w, r, prob.KeyHash(), body)
+	rt.budget.deposit()
+	rt.route(w, r, prob.KeyHash(), body, rt.requestDeadline(r, req.TimeoutMs))
 }
 
-// route walks the candidate list for key, forwarding body until a
-// backend produces a response the client should see.
-func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body []byte) {
+// requestDeadline resolves the request's end-to-end budget: the smaller
+// of the body's timeout_ms and an upstream X-Bddmind-Deadline-Ms header
+// (a client context deadline, or another router ahead of this one).
+// Zero means unbounded — the pre-grey-failure behavior.
+func (rt *Router) requestDeadline(r *http.Request, timeoutMs int) time.Time {
+	budget := time.Duration(timeoutMs) * time.Millisecond
+	if hdr := r.Header.Get(serve.DeadlineHeader); hdr != "" {
+		if ms, err := strconv.ParseInt(hdr, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; budget <= 0 || d < budget {
+				budget = d
+			}
+		}
+	}
+	if budget <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(budget)
+}
+
+// attemptResult is one forward attempt's outcome, delivered to the
+// request lifecycle loop.
+type attemptResult struct {
+	b     *backend
+	idx   int  // 1-based attempt number within the request
+	hedge bool // launched as a hedge rather than a failover
+	p     *proxied
+	err   error
+	start time.Time
+}
+
+// route runs the grey-failure request lifecycle: walk the candidate list
+// for key, one attempt at a time, each bounded by the attempt timeout
+// and the request deadline, hedging a slow attempt after HedgeDelay,
+// failing over on transport errors, timeouts, truncated or corrupt
+// bodies, drain refusals and (once) 5xx answers — until a backend
+// produces a response the client should see, the deadline expires, or
+// every candidate is spent.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body []byte, deadline time.Time) {
 	cands := rt.candidates(key)
 	if len(cands) > rt.cfg.MaxAttempts {
 		cands = cands[:rt.cfg.MaxAttempts]
 	}
-	var lastRefusal *proxied // most recent 503, replayed if everything fails
-	lastErr := "no backends configured"
-	attempt := 0
-	for _, b := range cands {
-		if attempt > 0 {
-			// Jittered pause before trying the next ring node; a client
-			// that hung up stops paying for failover it no longer wants.
-			select {
-			case <-time.After(rt.backoff()):
-			case <-r.Context().Done():
-				return
+	var (
+		results     = make(chan attemptResult, len(cands)) // sized so stragglers never block
+		cancels     []context.CancelFunc
+		next        int // index into cands of the next backend to try
+		attempts    int // attempts actually launched
+		inflight    int
+		hedged      bool
+		retried5xx  bool
+		lastRefusal *proxied // most recent 503 drain refusal, replayed if everything fails
+		last5xx     *proxied // most recent 5xx answer, replayed if its retry also dies
+		lastErr     = "no backends configured"
+	)
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	// launch starts one attempt on the next circuit-admitted candidate.
+	// Every attempt after the first — failover or hedge — spends one
+	// retry-budget token; an empty bucket turns the failure at hand into
+	// the final answer instead of feeding a retry storm.
+	launch := func(hedge bool) bool {
+		if attempts > 0 && !rt.budget.withdraw() {
+			rt.counters.retryStarved.Add(1)
+			rt.emit(obs.RouteEvent{Phase: "failover", Key: key, Attempt: attempts, Reason: "retry-budget"})
+			return false
+		}
+		for next < len(cands) {
+			b := cands[next]
+			next++
+			if !b.br.allow(time.Now(), rt.cfg.BreakerCooldown) {
+				rt.emit(obs.RouteEvent{Phase: "failover", Backend: b.addr, Key: key, Attempt: attempts, Reason: "breaker-open"})
+				continue
 			}
+			attempts++
+			idx, isHedge := attempts, hedge
+			actx, acancel := rt.attemptContext(r.Context(), deadline)
+			cancels = append(cancels, acancel)
+			if isHedge {
+				rt.counters.hedges.Add(1)
+				rt.emit(obs.RouteEvent{Phase: "hedge", Backend: b.addr, Key: key, Attempt: idx})
+			}
+			inflight++
+			go func(b *backend) {
+				start := time.Now()
+				p, err := rt.forward(actx, b, body, deadline)
+				results <- attemptResult{b: b, idx: idx, hedge: isHedge, p: p, err: err, start: start}
+			}(b)
+			return true
 		}
-		attempt++
-		start := time.Now()
-		p, err := rt.forward(r, b, body)
-		if err != nil {
-			b.errors.Add(1)
-			rt.counters.failovers.Add(1)
-			lastErr = fmt.Sprintf("%s: %v", b.addr, err)
-			rt.emit(obs.RouteEvent{
-				Phase: "failover", Backend: b.addr, Key: key, Attempt: attempt,
-				Reason: "connect", Duration: time.Since(start),
-			})
-			continue
-		}
+		return false
+	}
+
+	// deliver hands a backend response to the client verbatim and settles
+	// the request's accounting.
+	deliver := func(res attemptResult) {
 		switch {
-		case p.status == http.StatusServiceUnavailable:
-			// Drain refusal: the backend is shutting down but its probe may
-			// not have failed yet. Take the next ring node; keep the honest
-			// 503 in hand in case the whole fleet is draining.
-			b.drain503.Add(1)
-			rt.counters.failovers.Add(1)
-			lastRefusal = p
-			rt.emit(obs.RouteEvent{
-				Phase: "failover", Backend: b.addr, Key: key, Attempt: attempt,
-				Status: p.status, Reason: "drain-503", Duration: time.Since(start),
-			})
-			continue
-		case p.status == http.StatusTooManyRequests:
+		case res.p.status == http.StatusTooManyRequests:
 			// Backpressure is an answer, not a failure: pass it through with
 			// Retry-After intact so the client's closed loop does its job.
-			b.rejected429.Add(1)
-		case p.status >= 200 && p.status < 300:
-			b.ok.Add(1)
+			res.b.rejected429.Add(1)
+			res.b.br.onSuccess()
+		case res.p.status >= 200 && res.p.status < 300:
+			res.b.ok.Add(1)
+			res.b.br.onSuccess()
+		case res.p.status < 500 && res.p.status != http.StatusServiceUnavailable:
+			// A 4xx proves the backend is processing requests.
+			res.b.br.onSuccess()
 		}
 		rt.counters.forwarded.Add(1)
-		rt.observeAttempts(attempt)
+		rt.observeAttempts(res.idx)
+		if res.hedge {
+			rt.counters.hedgeWins.Add(1)
+		}
 		rt.emit(obs.RouteEvent{
-			Phase: "forwarded", Backend: b.addr, Key: key, Attempt: attempt,
-			Status: p.status, Duration: time.Since(start),
+			Phase: "forwarded", Backend: res.b.addr, Key: key, Attempt: res.idx,
+			Status: res.p.status, Duration: time.Since(res.start),
 		})
-		p.write(w)
+		res.p.write(w)
+	}
+
+	// fail records a failover-eligible attempt outcome against the
+	// backend's circuit and emits the transition.
+	fail := func(res attemptResult, reason string, breakerCounts bool) {
+		rt.counters.failovers.Add(1)
+		rt.emit(obs.RouteEvent{
+			Phase: "failover", Backend: res.b.addr, Key: key, Attempt: res.idx,
+			Status: statusOf(res.p), Reason: reason, Duration: time.Since(res.start),
+		})
+		if breakerCounts && res.b.br.onFailure(time.Now(), rt.cfg.BreakerThreshold) {
+			rt.emit(obs.RouteEvent{Phase: "breaker-open", Backend: res.b.addr, Reason: reason})
+		}
+	}
+
+	// timeout504 terminates the request at its deadline.
+	timeout504 := func() {
+		rt.counters.deadlineExceeded.Add(1)
+		rt.observeAttempts(attempts)
+		rt.emit(obs.RouteEvent{Phase: "deadline-exceeded", Key: key, Attempt: attempts, Status: http.StatusGatewayTimeout})
+		writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{Error: "deadline exceeded before a backend answered"})
+	}
+
+	if !launch(false) {
+		if len(cands) > 0 {
+			// Candidates existed but every circuit is open: fail fast with
+			// honest backpressure instead of queueing onto sick backends.
+			rt.counters.breakerFastFail.Add(1)
+			rt.emit(obs.RouteEvent{Phase: "error", Key: key, Status: http.StatusServiceUnavailable, Reason: "breaker-open"})
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(rt.cfg.BreakerCooldown)))
+			writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+				Error:        "all backends are circuit-broken, retry later",
+				RetryAfterMs: rt.cfg.BreakerCooldown.Milliseconds(),
+			})
+			return
+		}
+		rt.counters.exhausted.Add(1)
+		rt.emit(obs.RouteEvent{Phase: "error", Key: key, Status: http.StatusBadGateway, Reason: "exhausted"})
+		writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{Error: fmt.Sprintf("no backend available (last: %s)", lastErr)})
 		return
 	}
+
+	var hedgeC <-chan time.Time
+	if rt.cfg.HedgeDelay > 0 && len(cands) > 1 {
+		ht := time.NewTimer(rt.cfg.HedgeDelay)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	var deadlineC <-chan time.Time
+	if !deadline.IsZero() {
+		dt := time.NewTimer(time.Until(deadline))
+		defer dt.Stop()
+		deadlineC = dt.C
+	}
+
+	// relaunch continues the failover chain when nothing is left in
+	// flight: a jittered pause (cut short by deadline or client), then
+	// the next candidate. A false return means the request is settled.
+	relaunch := func() bool {
+		if inflight > 0 {
+			// A hedge (or the original) is still racing; it is the retry.
+			return true
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			timeout504()
+			return false
+		}
+		select {
+		case <-time.After(rt.backoff()):
+		case <-deadlineC:
+			timeout504()
+			return false
+		case <-r.Context().Done():
+			return false
+		}
+		launch(false) // a false launch just lets the loop fall through to exhaustion
+		return true
+	}
+
+	for inflight > 0 {
+		select {
+		case res := <-results:
+			inflight--
+			if r.Context().Err() != nil {
+				return // nobody left to answer
+			}
+			switch {
+			case res.err != nil:
+				reason := "connect"
+				switch {
+				case errors.Is(res.err, errOversized):
+					reason = "truncated" // counted per-backend in forward
+				case errors.Is(res.err, context.DeadlineExceeded):
+					reason = "timeout"
+					res.b.timeouts.Add(1)
+				default:
+					res.b.errors.Add(1)
+				}
+				lastErr = fmt.Sprintf("%s: %v", res.b.addr, res.err)
+				fail(res, reason, true)
+				if !relaunch() {
+					return
+				}
+			case res.p.status == http.StatusServiceUnavailable:
+				// Drain refusal: the backend is shutting down but its probe may
+				// not have failed yet. Take the next ring node; keep the honest
+				// 503 in hand in case the whole fleet is draining. The circuit
+				// stays untouched — draining is cooperative, not grey.
+				res.b.drain503.Add(1)
+				lastRefusal = res.p
+				fail(res, "drain-503", false)
+				if !relaunch() {
+					return
+				}
+			case res.p.status >= 500:
+				// An idempotent, cache-keyed job answered 5xx (e.g. a shard
+				// panic mid-rebuild) deserves exactly one failover; a second
+				// 5xx is replayed honestly.
+				last5xx = res.p
+				lastErr = fmt.Sprintf("%s: HTTP %d", res.b.addr, res.p.status)
+				opened := res.b.br.onFailure(time.Now(), rt.cfg.BreakerThreshold)
+				if opened {
+					rt.emit(obs.RouteEvent{Phase: "breaker-open", Backend: res.b.addr, Reason: "5xx"})
+				}
+				if retried5xx || (inflight == 0 && next >= len(cands)) {
+					deliver(res)
+					return
+				}
+				retried5xx = true
+				res.b.retried5xx.Add(1)
+				rt.counters.retried5xx.Add(1)
+				rt.counters.failovers.Add(1)
+				rt.emit(obs.RouteEvent{
+					Phase: "failover", Backend: res.b.addr, Key: key, Attempt: res.idx,
+					Status: res.p.status, Reason: "5xx", Duration: time.Since(res.start),
+				})
+				if !relaunch() {
+					return
+				}
+			case res.p.status < 300 && !json.Valid(res.p.body):
+				// A 2xx with a mangled body must never reach the client as if
+				// it were an answer.
+				res.b.corrupt.Add(1)
+				lastErr = fmt.Sprintf("%s: corrupt response body", res.b.addr)
+				fail(res, "corrupt", true)
+				if !relaunch() {
+					return
+				}
+			default:
+				deliver(res)
+				return
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if !hedged && inflight > 0 && next < len(cands) {
+				hedged = true
+				launch(true)
+			}
+		case <-deadlineC:
+			timeout504()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	// Every candidate spent without a deliverable answer.
 	rt.counters.exhausted.Add(1)
-	rt.observeAttempts(attempt)
-	if lastRefusal != nil {
-		rt.emit(obs.RouteEvent{Phase: "error", Key: key, Attempt: attempt, Status: lastRefusal.status, Reason: "all-draining"})
+	rt.observeAttempts(attempts)
+	switch {
+	case lastRefusal != nil:
+		rt.emit(obs.RouteEvent{Phase: "error", Key: key, Attempt: attempts, Status: lastRefusal.status, Reason: "all-draining"})
 		lastRefusal.write(w)
-		return
+	case last5xx != nil:
+		// The 5xx retry itself died; the backend's own answer is still the
+		// most honest thing to replay.
+		rt.emit(obs.RouteEvent{Phase: "error", Key: key, Attempt: attempts, Status: last5xx.status, Reason: "5xx-exhausted"})
+		last5xx.write(w)
+	default:
+		rt.emit(obs.RouteEvent{Phase: "error", Key: key, Attempt: attempts, Status: http.StatusBadGateway, Reason: "exhausted"})
+		writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+			Error: fmt.Sprintf("no backend available (last: %s)", lastErr),
+		})
 	}
-	rt.emit(obs.RouteEvent{Phase: "error", Key: key, Attempt: attempt, Status: http.StatusBadGateway, Reason: "exhausted"})
-	writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
-		Error: fmt.Sprintf("no backend available (last: %s)", lastErr),
-	})
+}
+
+// attemptContext bounds one forward attempt: the per-attempt timeout,
+// clamped to whatever remains of the request deadline, under the
+// client's own cancellation.
+func (rt *Router) attemptContext(parent context.Context, deadline time.Time) (context.Context, context.CancelFunc) {
+	d := rt.cfg.AttemptTimeout
+	if !deadline.IsZero() {
+		rem := time.Until(deadline)
+		if rem < time.Millisecond {
+			rem = time.Millisecond // the deadline race is settled by the lifecycle loop
+		}
+		if d <= 0 || rem < d {
+			d = rem
+		}
+	}
+	if d > 0 {
+		return context.WithTimeout(parent, d)
+	}
+	return context.WithCancel(parent)
+}
+
+// statusOf is the status of a possibly-nil proxied response (0 when the
+// attempt never produced one).
+func statusOf(p *proxied) int {
+	if p == nil {
+		return 0
+	}
+	return p.status
+}
+
+// retrySeconds renders a Retry-After header value (integer seconds,
+// minimum 1).
+func retrySeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }
 
 // forward sends one POST /minimize to b and buffers the whole response.
-// The client's context rides along, so a vanished client cancels the
-// backend work through bddmind's own Budget.Ctx plumbing.
-func (rt *Router) forward(r *http.Request, b *backend, body []byte) (*proxied, error) {
+// The attempt context rides along, so an abandoned attempt (timeout,
+// hedge loss, vanished client) cancels the backend work through
+// bddmind's own Budget.Ctx plumbing. The remaining request budget is
+// propagated in serve.DeadlineHeader so the backend's admission maps it
+// onto bdd.Budget.Deadline — a failover retry arrives with a smaller
+// budget than the original attempt did, never a larger one. A response
+// bigger than MaxProxiedBody fails the attempt with errOversized rather
+// than truncating silently.
+func (rt *Router) forward(ctx context.Context, b *backend, body []byte, deadline time.Time) (*proxied, error) {
 	b.requests.Add(1)
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.addr+"/minimize", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/minimize", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if !deadline.IsZero() {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	res, err := rt.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer res.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(res.Body, maxProxiedBody))
+	limit := rt.cfg.MaxProxiedBody
+	data, err := io.ReadAll(io.LimitReader(res.Body, limit+1))
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(data)) > limit {
+		b.truncated.Add(1)
+		return nil, fmt.Errorf("%s: %w (over %d bytes)", b.addr, errOversized, limit)
 	}
 	return &proxied{
 		backend:    b.addr,

@@ -13,21 +13,34 @@
 // moves exactly the ejected backend's keys to their ring successors and
 // a re-admission restores the original placement.
 //
-// Robustness is two independent mechanisms:
+// Robustness is layered, clean failures first, grey failures second:
 //
 //   - active health: a prober per backend polls GET /healthz; FailAfter
 //     consecutive failures (a draining backend answers 503 and fails the
 //     probe by design) eject the backend from candidate selection,
 //     ReviveAfter consecutive successes re-admit it;
-//   - per-request failover: a connection error or a 503 drain refusal
-//     makes the router retry the next ring node after a jittered
-//     backoff, bounded by MaxAttempts. 429 backpressure is passed
-//     through untouched (Retry-After intact) — the client, not the
-//     router, owns the retry budget for overload.
+//   - per-request failover: a connection error, an attempt timeout, a
+//     truncated or corrupt response, or a 503 drain refusal makes the
+//     router retry the next ring node after a jittered backoff, bounded
+//     by MaxAttempts; an idempotent 5xx answer is retried once. 429
+//     backpressure is passed through untouched (Retry-After intact) —
+//     the client, not the router, owns the retry loop for overload;
+//   - grey-failure tolerance: AttemptTimeout abandons a stalled backend,
+//     the request's end-to-end deadline (timeout_ms, propagated and
+//     shrunk across attempts via the X-Bddmind-Deadline-Ms header) caps
+//     total latency at the client's original budget, HedgeDelay races a
+//     duplicate attempt against a slow one, and per-backend circuit
+//     breakers (breaker.go) driven by in-band outcomes skip a sick
+//     backend the way probe-based ejection skips a dead one. A global
+//     retry-budget token bucket bounds the extra attempts all of the
+//     above may add, so a sick fleet degrades to fast errors instead of
+//     a retry storm.
 //
 // The router never invents a success: a request either returns a backend
 // response verbatim (plus an X-Bddmind-Backend header naming the server
-// that produced it) or an honest 502 after every candidate failed.
+// that produced it), an honest 502 after every candidate failed, a 503
+// when every circuit is open, or a 504 when the deadline expired first.
+// A truncated or corrupt backend body is never replayed to the client.
 package route
 
 import (
@@ -66,6 +79,41 @@ type Config struct {
 	// 25ms). Jitter prevents a crashed backend's in-flight requests from
 	// stampeding its ring successor in lockstep.
 	RetryBackoff time.Duration
+	// AttemptTimeout bounds each individual forward attempt, so a backend
+	// that accepts the connection and then stalls is abandoned (and failed
+	// over) instead of hanging the request forever. 0 disables the bound —
+	// the attempt then runs until the client or the request deadline gives
+	// up. When the request carries an end-to-end deadline, each attempt is
+	// additionally clamped to the remaining budget.
+	AttemptTimeout time.Duration
+	// HedgeDelay, when positive, launches a hedged duplicate of the
+	// request on the next ring candidate if the current attempt has not
+	// answered within the delay; the first response wins and the loser's
+	// context is canceled. Hedging is safe because /minimize is
+	// idempotent and cache-keyed. At most one hedge is launched per
+	// request, and a hedge spends a retry-budget token like a failover
+	// does. 0 disables hedging.
+	HedgeDelay time.Duration
+	// BreakerThreshold opens a backend's circuit after that many
+	// consecutive in-band failures — attempt timeouts, transport errors,
+	// truncated or corrupt bodies, 5xx statuses (default 5). An open
+	// circuit skips the backend during candidate selection until
+	// BreakerCooldown has elapsed; then a single half-open probe request
+	// decides between closing and re-opening it (default cooldown 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetryBudgetMax and RetryBudgetRatio parameterize the global retry
+	// budget: a token bucket holding at most RetryBudgetMax tokens
+	// (default 32), credited RetryBudgetRatio tokens per incoming request
+	// (default 0.1). Every extra attempt — a failover retry or a hedge —
+	// spends one token; an empty bucket degrades the router to fast
+	// errors instead of a retry storm.
+	RetryBudgetMax   int
+	RetryBudgetRatio float64
+	// MaxProxiedBody bounds a buffered backend response (default 32 MiB).
+	// A response exceeding it fails the attempt — it is never truncated
+	// and replayed as if complete.
+	MaxProxiedBody int64
 	// HTTP performs the forwarded requests and the probes
 	// (http.DefaultClient when nil). Give it a transport sized to the
 	// expected concurrency.
@@ -99,6 +147,21 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 25 * time.Millisecond
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.RetryBudgetMax <= 0 {
+		c.RetryBudgetMax = 32
+	}
+	if c.RetryBudgetRatio <= 0 {
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.MaxProxiedBody <= 0 {
+		c.MaxProxiedBody = 32 << 20
+	}
 	return c
 }
 
@@ -108,12 +171,17 @@ func (c Config) withDefaults() Config {
 type backend struct {
 	addr    string
 	ejected atomic.Bool
+	br      breaker // in-band circuit (breaker.go)
 
 	requests     atomic.Uint64 // forward attempts sent to this backend
 	ok           atomic.Uint64 // 2xx responses returned
 	rejected429  atomic.Uint64 // 429 backpressure passed through
 	drain503     atomic.Uint64 // 503 refusals that triggered failover
 	errors       atomic.Uint64 // transport failures (connect/reset)
+	timeouts     atomic.Uint64 // attempts abandoned at the attempt timeout
+	truncated    atomic.Uint64 // responses over MaxProxiedBody, failed over
+	corrupt      atomic.Uint64 // 2xx responses with an invalid JSON body
+	retried5xx   atomic.Uint64 // 5xx answers retried on the next candidate
 	probeFails   atomic.Uint64
 	ejections    atomic.Uint64
 	readmissions atomic.Uint64
@@ -136,12 +204,19 @@ type Router struct {
 	wg   sync.WaitGroup
 
 	counters struct {
-		forwarded  atomic.Uint64 // requests answered with a backend response
-		failovers  atomic.Uint64 // attempts that moved on to the next ring node
-		exhausted  atomic.Uint64 // requests that ran out of candidates (502)
-		badRequest atomic.Uint64 // rejected at the router (400/405/413)
+		forwarded        atomic.Uint64 // requests answered with a backend response
+		failovers        atomic.Uint64 // attempts that moved on to the next ring node
+		exhausted        atomic.Uint64 // requests that ran out of candidates (502)
+		badRequest       atomic.Uint64 // rejected at the router (400/405/413)
+		hedges           atomic.Uint64 // hedged attempts launched
+		hedgeWins        atomic.Uint64 // requests answered by the hedged attempt
+		deadlineExceeded atomic.Uint64 // requests terminated at the end-to-end deadline (504)
+		retried5xx       atomic.Uint64 // idempotent 5xx answers retried once
+		breakerFastFail  atomic.Uint64 // requests refused because every circuit was open
+		retryStarved     atomic.Uint64 // extra attempts denied by the retry budget
 	}
 	retryHist [retryHistBuckets]atomic.Uint64
+	budget    *retryBudget
 
 	// obsMu serializes trace emissions across the HTTP goroutines and the
 	// probers; jitterMu guards the backoff RNG.
@@ -159,6 +234,7 @@ func New(cfg Config) *Router {
 		start:  time.Now(),
 		stop:   make(chan struct{}),
 		jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
+		budget: newRetryBudget(cfg.RetryBudgetMax, cfg.RetryBudgetRatio),
 	}
 	for _, addr := range cfg.Backends {
 		rt.backends = append(rt.backends, &backend{addr: addr})

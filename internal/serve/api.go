@@ -125,6 +125,19 @@ type HealthResponse struct {
 // the per-backend request distribution; bddmind itself never sets it.
 const BackendHeader = "X-Bddmind-Backend"
 
+// DeadlineHeader carries the remaining end-to-end request budget in
+// milliseconds. A fronting router (cmd/bddrouter) stamps it on every
+// forwarded attempt, shrunk by the time already spent on earlier
+// attempts, so failover and hedging can never exceed the client's
+// original timeout_ms; the Client sets it from its context deadline.
+// Admission maps the header onto bdd.Budget.Deadline exactly like
+// timeout_ms, except that the header only ever *tightens* the budget —
+// it is ignored when it is later than the body-derived deadline — and it
+// does not enter the result-cache key: a complete cached result is
+// correct under any deadline, and the shrinking per-attempt values would
+// otherwise make every routed retry miss the cache.
+const DeadlineHeader = "X-Bddmind-Deadline-Ms"
+
 // ShardSnapshot is one worker's state in GET /metrics.
 type ShardSnapshot struct {
 	Shard int `json:"shard"`

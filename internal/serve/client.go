@@ -44,6 +44,14 @@ func (c *Client) Minimize(ctx context.Context, req MinimizeRequest) (*MinimizeRe
 		return nil, 0, nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's context deadline as the end-to-end budget so
+	// a router (or the server itself) never spends longer on this request
+	// than the caller will wait for the answer.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hr.Header.Set(DeadlineHeader, fmt.Sprintf("%d", ms))
+		}
+	}
 	res, err := c.httpClient().Do(hr)
 	if err != nil {
 		return nil, 0, nil, err

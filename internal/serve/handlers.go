@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -60,6 +61,13 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err := dec.Decode(&req); err != nil {
 		s.counters.invalid.Add(1)
+		// An over-limit body is the client's mistake (413); anything else —
+		// malformed JSON or a connection that died mid-upload — is 400.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reject(w, id, http.StatusRequestEntityTooLarge, "too-large", ErrorResponse{Error: "request body too large"})
+			return
+		}
 		s.reject(w, id, http.StatusBadRequest, "bad-json", ErrorResponse{Error: fmt.Sprintf("invalid request body: %v", err)})
 		return
 	}
@@ -138,7 +146,7 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 		heu:          heu,
 		trace:        req.Trace,
 		nodesCap:     nodesCap,
-		deadline:     deadlineFrom(timeout),
+		deadline:     headerDeadline(r, deadlineFrom(timeout)),
 		matchWorkers: clampWorkers(req.MatchWorkers, s.cfg.MaxMatchWorkers),
 		ctx:          r.Context(),
 		enq:          enq,
@@ -273,6 +281,28 @@ func deadlineFrom(d time.Duration) time.Time {
 		return time.Time{}
 	}
 	return time.Now().Add(d)
+}
+
+// headerDeadline tightens a body-derived deadline with the remaining
+// budget a fronting router propagated in DeadlineHeader. The header only
+// ever *shrinks* the budget — a retried attempt arrives with less time
+// than the original request asked for — and it stays out of the cache
+// keys, which are computed from the body-resolved timeout before this
+// point (see the DeadlineHeader doc comment).
+func headerDeadline(r *http.Request, base time.Time) time.Time {
+	hdr := r.Header.Get(DeadlineHeader)
+	if hdr == "" {
+		return base
+	}
+	ms, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil || ms <= 0 {
+		return base
+	}
+	d := time.Now().Add(time.Duration(ms) * time.Millisecond)
+	if base.IsZero() || d.Before(base) {
+		return d
+	}
+	return base
 }
 
 // retryAfterSeconds renders the Retry-After header (integer seconds,

@@ -90,8 +90,14 @@ type LoadStats struct {
 	// result cache — per-node locality under consistent-hash placement.
 	ByBackend      map[string]int
 	CacheByBackend map[string]int
-	Elapsed        time.Duration
-	Latencies      []time.Duration // per completed request, unordered
+	// StatusCounts histograms every terminal HTTP status the harness saw
+	// (200s, passed-through 4xx/5xx, router 502/503/504) plus the retried
+	// 429s — the accounting identity a chaos run audits: every issued
+	// request lands in exactly one of Requests, ErrorCount, or a canceled
+	// context, and StatusCounts says which doors the failures went through.
+	StatusCounts map[int]int
+	Elapsed      time.Duration
+	Latencies    []time.Duration // per completed request, unordered
 }
 
 // Throughput returns completed requests per second.
@@ -146,7 +152,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 	var (
 		issued   atomic.Int64
 		mu       sync.Mutex
-		stats    = &LoadStats{ByFormat: map[string]int{}, ByBackend: map[string]int{}, CacheByBackend: map[string]int{}}
+		stats    = &LoadStats{ByFormat: map[string]int{}, ByBackend: map[string]int{}, CacheByBackend: map[string]int{}, StatusCounts: map[int]int{}}
 		wg       sync.WaitGroup
 		verifyMu sync.Mutex
 		verdicts = map[string]error{}
@@ -242,6 +248,7 @@ func hotPick(seq uint64, rate float64) bool {
 func submitWithRetry(ctx context.Context, c *Client, req MinimizeRequest, maxRetries int, stats *LoadStats, record func(func())) (*MinimizeResponse, bool) {
 	for attempt := 0; ; attempt++ {
 		resp, status, errBody, err := c.Minimize(ctx, req)
+		record(func() { stats.StatusCounts[status]++ }) // status 0 = transport error
 		switch {
 		case err != nil:
 			record(func() {
