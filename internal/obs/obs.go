@@ -200,16 +200,19 @@ func (ServeEvent) Kind() string { return "serve" }
 // backend refused with 503, was unreachable, stalled past the attempt
 // timeout, answered a 5xx, or returned a truncated or corrupt body and the
 // next ring node was tried (Attempt counts from 1 per request), a "hedge"
-// when a duplicate attempt was raced against a slow one, the grey-failure
-// machinery's "breaker-open" and "deadline-exceeded" transitions, a
-// terminal "error" when every candidate was exhausted, and the health
-// prober's "ejected"/"readmitted" membership transitions. Key is the
+// when a duplicate attempt was raced against a slow one, a "skipped" when
+// a candidate was passed over without an attempt (its circuit open, or an
+// extra attempt denied by the retry budget — no failover is counted), the
+// grey-failure machinery's "breaker-open" and "deadline-exceeded"
+// transitions, a terminal "error" when every candidate was exhausted, and
+// the health prober's "ejected"/"readmitted" membership transitions. Key is the
 // placement hash (problem.KeyHash) so a trace can be joined against ring
 // positions; it is 0 for health and breaker events, which concern a
 // backend rather than a request.
 type RouteEvent struct {
-	// Phase is one of "forwarded", "failover", "hedge", "breaker-open",
-	// "deadline-exceeded", "error", "ejected", "readmitted".
+	// Phase is one of "forwarded", "failover", "hedge", "skipped",
+	// "breaker-open", "deadline-exceeded", "error", "ejected",
+	// "readmitted".
 	Phase   string
 	Backend string // backend base URL the transition concerns
 	Key     uint64 // consistent-hash placement key (0 for health events)

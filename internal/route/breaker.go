@@ -17,7 +17,11 @@ import (
 // corrupt responses, 5xx statuses) open the circuit, an open circuit is
 // skipped during candidate selection the way an ejected backend is, and
 // after a cooldown exactly one probe request (half-open) decides between
-// closing the circuit and re-opening it. The breaker composes with
+// closing the circuit and re-opening it. A probe whose attempt is
+// abandoned before any outcome arrives (hedge loss, deadline, client
+// disconnect) gives its slot back — see abandonProbe — so an answerless
+// probe re-arms the next request's probe instead of wedging the circuit
+// half-open forever. The breaker composes with
 // probe-based ejection rather than replacing it: either signal alone
 // removes the backend from first-choice placement, and a probe-based
 // re-admission resets the breaker so a restarted backend starts clean.
@@ -56,36 +60,59 @@ type breaker struct {
 	state       int32
 	consecFails int
 	openedAt    time.Time
-	probing     bool // half-open: the single probe slot is taken
+	probing     bool   // half-open: the single probe slot is taken
+	probeSeq    uint64 // increments per probe grant; names the slot's holder
 
 	opens  uint64
 	closes uint64
 }
 
 // allow reports whether an attempt may be sent through this circuit now.
-// A closed circuit always admits. An open circuit admits nothing until
-// cooldown has elapsed, then transitions to half-open and admits exactly
-// one probe attempt; further calls are refused until that probe reports
-// its outcome.
-func (br *breaker) allow(now time.Time, cooldown time.Duration) bool {
+// A closed circuit always admits (probe token 0). An open circuit admits
+// nothing until cooldown has elapsed, then transitions to half-open and
+// admits exactly one probe attempt; further calls are refused until that
+// probe's outcome arrives. A probe admission returns a non-zero token
+// naming the slot grant, and the caller must guarantee the slot is
+// released: onSuccess and onFailure release it as a side effect of
+// recording the probe's outcome, and abandonProbe(token) releases it when
+// the attempt is discarded without one (hedge loss, request deadline,
+// client disconnect, drain refusal). An unreleased slot would refuse the
+// backend forever.
+func (br *breaker) allow(now time.Time, cooldown time.Duration) (admit bool, probe uint64) {
 	br.mu.Lock()
 	defer br.mu.Unlock()
 	switch br.state {
 	case breakerClosed:
-		return true
+		return true, 0
 	case breakerOpen:
 		if now.Sub(br.openedAt) < cooldown {
-			return false
+			return false, 0
 		}
 		br.state = breakerHalfOpen
-		br.probing = true
-		return true
 	default: // half-open
 		if br.probing {
-			return false
+			return false, 0
 		}
-		br.probing = true
-		return true
+	}
+	br.probing = true
+	br.probeSeq++
+	return true, br.probeSeq
+}
+
+// abandonProbe releases the half-open probe slot granted under token when
+// the attempt holding it was discarded before reporting an outcome: the
+// circuit stays half-open and the next request is admitted to probe in
+// its place. A stale token — a slot already released by onSuccess or
+// onFailure, or since re-granted to a later attempt — is ignored, so
+// callers may release unconditionally at end of request.
+func (br *breaker) abandonProbe(token uint64) {
+	if token == 0 {
+		return
+	}
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.state == breakerHalfOpen && br.probing && br.probeSeq == token {
+		br.probing = false
 	}
 }
 

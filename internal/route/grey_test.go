@@ -140,6 +140,52 @@ func TestRouterHedgeWins(t *testing.T) {
 	}
 }
 
+// TestRouterAbandonedProbeDoesNotWedgeBreaker is the router-level wedge
+// regression: a stalling backend whose circuit is half-open gets the
+// probe attempt, a hedge wins the race, and the request returns with the
+// probe still in flight. The abandoned probe must release its slot —
+// every subsequent request probes the backend again instead of the
+// circuit refusing it forever (a grey-failed backend passes its health
+// probes, so no readmission would ever reset it).
+func TestRouterAbandonedProbeDoesNotWedgeBreaker(t *testing.T) {
+	sick := newStub(t)
+	proxy, err := faultnet.New(sick.ts.URL, faultnet.EveryNth{N: 1, Fault: faultnet.Fault{Kind: faultnet.Stall}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = proxy.Close() })
+	good := newStub(t)
+	rt, client, _ := newRouter(t, Config{
+		Backends:         []string{proxy.URL(), good.ts.URL},
+		AttemptTimeout:   5 * time.Second, // never fires: the hedge abandons the stalled probe
+		HedgeDelay:       30 * time.Millisecond,
+		BreakerThreshold: 1,
+		RetryBackoff:     time.Millisecond,
+	})
+	p := specOwnedBy(t, rt, 0)
+	// Open the victim's circuit as in-band evidence would, backdating the
+	// transition so the cooldown has already elapsed: the next attempt is
+	// a half-open probe.
+	rt.backends[0].br.onFailure(time.Now().Add(-time.Minute), 1)
+
+	for i := 0; i < 3; i++ {
+		resp, status, _, err := client.Minimize(context.Background(), serve.RequestFor(p, ""))
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("request %d: status %d, err %v", i, status, err)
+		}
+		if resp.Backend != good.ts.URL {
+			t.Fatalf("request %d answered by %s, want the hedge target %s", i, resp.Backend, good.ts.URL)
+		}
+	}
+	row := backendRow(rt.Metrics(), proxy.URL())
+	if row.Requests != 3 {
+		t.Fatalf("half-open victim received %d probe attempts, want 3 — an abandoned probe wedged the circuit", row.Requests)
+	}
+	if row.BreakerState != "half-open" {
+		t.Fatalf("victim breaker state %q, want half-open (probes abandoned, never judged)", row.BreakerState)
+	}
+}
+
 // TestRouterDeadline504: when no backend answers inside the request's
 // own timeout_ms, the router terminates the request with an honest 504
 // at the deadline — bounded worst-case latency instead of a hang.

@@ -29,7 +29,7 @@ type BackendSnapshot struct {
 	Errors      uint64 `json:"errors"`
 	// Grey-failure evidence: Timeouts counts attempts abandoned at the
 	// attempt timeout, Truncated responses over the proxied-body limit,
-	// Corrupt 2xx answers with invalid JSON bodies, Retried5xx 5xx answers
+	// Corrupt 200 answers with invalid JSON bodies, Retried5xx 5xx answers
 	// that were given one failover.
 	Timeouts   uint64 `json:"timeouts"`
 	Truncated  uint64 `json:"truncated"`
@@ -73,7 +73,8 @@ type RouterCounters struct {
 	// end-to-end deadline before any backend answered.
 	DeadlineExceeded uint64 `json:"deadline_exceeded"`
 	// Retried5xx counts the one-shot failovers granted to backend 5xx
-	// answers.
+	// answers — only when a retry attempt actually existed (a fresh
+	// launch, or an already-racing attempt designated as the retry).
 	Retried5xx uint64 `json:"retried_5xx"`
 	// BreakerFastFails counts requests refused immediately (503) because
 	// every candidate's circuit was open; RetryBudgetExhausted counts

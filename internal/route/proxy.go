@@ -144,6 +144,14 @@ type attemptResult struct {
 	start time.Time
 }
 
+// probeHold is a half-open probe slot granted to one of a request's
+// attempts; route releases every hold it was granted when it returns,
+// so a probe abandoned without an outcome cannot wedge its circuit.
+type probeHold struct {
+	br    *breaker
+	token uint64
+}
+
 // route runs the grey-failure request lifecycle: walk the candidate list
 // for key, one attempt at a time, each bounded by the attempt timeout
 // and the request deadline, hedging a slow attempt after HedgeDelay,
@@ -164,13 +172,24 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body
 		inflight    int
 		hedged      bool
 		retried5xx  bool
-		lastRefusal *proxied // most recent 503 drain refusal, replayed if everything fails
-		last5xx     *proxied // most recent 5xx answer, replayed if its retry also dies
+		lastRefusal *proxied    // most recent 503 drain refusal, replayed if everything fails
+		last5xx     *proxied    // most recent 5xx answer, replayed if its retry also dies
+		probes      []probeHold // half-open probe slots granted to this request's attempts
 		lastErr     = "no backends configured"
 	)
 	defer func() {
 		for _, c := range cancels {
 			c()
+		}
+		// Release any half-open probe slot still held by an attempt whose
+		// outcome was never recorded (hedge loser, deadline 504, drain
+		// refusal, client disconnect). abandonProbe ignores slots already
+		// released by onSuccess/onFailure, so a blanket release is safe —
+		// and without it an abandoned probe would refuse its backend
+		// forever: a grey-failed backend passes its health probes, so no
+		// readmission ever comes along to reset the circuit.
+		for _, ph := range probes {
+			ph.br.abandonProbe(ph.token)
 		}
 	}()
 
@@ -181,15 +200,22 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body
 	launch := func(hedge bool) bool {
 		if attempts > 0 && !rt.budget.withdraw() {
 			rt.counters.retryStarved.Add(1)
-			rt.emit(obs.RouteEvent{Phase: "failover", Key: key, Attempt: attempts, Reason: "retry-budget"})
+			rt.emit(obs.RouteEvent{Phase: "skipped", Key: key, Attempt: attempts, Reason: "retry-budget"})
 			return false
 		}
 		for next < len(cands) {
 			b := cands[next]
 			next++
-			if !b.br.allow(time.Now(), rt.cfg.BreakerCooldown) {
-				rt.emit(obs.RouteEvent{Phase: "failover", Backend: b.addr, Key: key, Attempt: attempts, Reason: "breaker-open"})
+			// A "skipped" phase, not "failover": no attempt was abandoned
+			// here, so the failovers counter stays untouched and traces
+			// reconcile with /metrics.
+			admit, probeToken := b.br.allow(time.Now(), rt.cfg.BreakerCooldown)
+			if !admit {
+				rt.emit(obs.RouteEvent{Phase: "skipped", Backend: b.addr, Key: key, Attempt: attempts, Reason: "breaker-open"})
 				continue
+			}
+			if probeToken != 0 {
+				probes = append(probes, probeHold{br: &b.br, token: probeToken})
 			}
 			attempts++
 			idx, isHedge := attempts, hedge
@@ -320,7 +346,11 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body
 		case res := <-results:
 			inflight--
 			if r.Context().Err() != nil {
-				return // nobody left to answer
+				// Nobody is left to answer, but the attempt's evidence still
+				// counts — clients give up exactly when the fleet is sick —
+				// so only the client-facing write is skipped.
+				rt.accountAbandoned(res)
+				return
 			}
 			switch {
 			case res.err != nil:
@@ -356,8 +386,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body
 				// 5xx is replayed honestly.
 				last5xx = res.p
 				lastErr = fmt.Sprintf("%s: HTTP %d", res.b.addr, res.p.status)
-				opened := res.b.br.onFailure(time.Now(), rt.cfg.BreakerThreshold)
-				if opened {
+				if res.b.br.onFailure(time.Now(), rt.cfg.BreakerThreshold) {
 					rt.emit(obs.RouteEvent{Phase: "breaker-open", Backend: res.b.addr, Reason: "5xx"})
 				}
 				if retried5xx || (inflight == 0 && next >= len(cands)) {
@@ -365,19 +394,30 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body
 					return
 				}
 				retried5xx = true
-				res.b.retried5xx.Add(1)
-				rt.counters.retried5xx.Add(1)
-				rt.counters.failovers.Add(1)
-				rt.emit(obs.RouteEvent{
-					Phase: "failover", Backend: res.b.addr, Key: key, Attempt: res.idx,
-					Status: res.p.status, Reason: "5xx", Duration: time.Since(res.start),
-				})
+				// The retry is either an attempt already racing (designated
+				// as the retry: relaunch then launches nothing) or a fresh
+				// attempt launched by relaunch. Count the one-shot 5xx retry
+				// only when one of the two actually exists — a starved or
+				// exhausted relaunch leaves the 5xx as the final answer and
+				// must not inflate the retry counters.
+				racing, before, dur := inflight > 0, attempts, time.Since(res.start)
 				if !relaunch() {
 					return
 				}
-			case res.p.status < 300 && !json.Valid(res.p.body):
-				// A 2xx with a mangled body must never reach the client as if
-				// it were an answer.
+				if racing || attempts > before {
+					res.b.retried5xx.Add(1)
+					rt.counters.retried5xx.Add(1)
+					rt.counters.failovers.Add(1)
+					rt.emit(obs.RouteEvent{
+						Phase: "failover", Backend: res.b.addr, Key: key, Attempt: res.idx,
+						Status: res.p.status, Reason: "5xx", Duration: dur,
+					})
+				}
+			case res.p.status == http.StatusOK && !json.Valid(res.p.body):
+				// A 200 whose body is not the JSON answer it claims to be
+				// must never reach the client. The check is scoped to 200 —
+				// the only success /minimize produces — so a bodyless 204 or
+				// a future non-JSON success is not misread as grey failure.
 				res.b.corrupt.Add(1)
 				lastErr = fmt.Sprintf("%s: corrupt response body", res.b.addr)
 				fail(res, "corrupt", true)
@@ -419,6 +459,54 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, key uint64, body
 		writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
 			Error: fmt.Sprintf("no backend available (last: %s)", lastErr),
 		})
+	}
+}
+
+// accountAbandoned records the evidence in an attempt result whose client
+// vanished before it could be delivered: the backend counters and the
+// circuit still learn from the outcome — in-band failure evidence is most
+// valuable exactly when clients are timing out against a sick fleet — and
+// only the client-facing write is skipped. An attempt error caused by the
+// disconnect itself (context canceled) is no verdict on the backend and
+// is ignored. The classification mirrors the live delivery/failover paths
+// in route.
+func (rt *Router) accountAbandoned(res attemptResult) {
+	onFailure := func(reason string) {
+		if res.b.br.onFailure(time.Now(), rt.cfg.BreakerThreshold) {
+			rt.emit(obs.RouteEvent{Phase: "breaker-open", Backend: res.b.addr, Reason: reason})
+		}
+	}
+	switch {
+	case res.err != nil:
+		switch {
+		case errors.Is(res.err, context.Canceled):
+			// The disconnect canceled the attempt; nothing was learned.
+		case errors.Is(res.err, errOversized):
+			onFailure("truncated") // b.truncated already counted in forward
+		case errors.Is(res.err, context.DeadlineExceeded):
+			res.b.timeouts.Add(1)
+			onFailure("timeout")
+		default:
+			res.b.errors.Add(1)
+			onFailure("connect")
+		}
+	case res.p.status == http.StatusServiceUnavailable:
+		// Cooperative drain, not grey: the circuit stays untouched.
+		res.b.drain503.Add(1)
+	case res.p.status >= 500:
+		onFailure("5xx")
+	case res.p.status == http.StatusOK && !json.Valid(res.p.body):
+		res.b.corrupt.Add(1)
+		onFailure("corrupt")
+	case res.p.status == http.StatusTooManyRequests:
+		res.b.rejected429.Add(1)
+		res.b.br.onSuccess()
+	case res.p.status >= 200 && res.p.status < 300:
+		res.b.ok.Add(1)
+		res.b.br.onSuccess()
+	default:
+		// A 4xx proves the backend is processing requests.
+		res.b.br.onSuccess()
 	}
 }
 

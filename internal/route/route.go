@@ -180,7 +180,7 @@ type backend struct {
 	errors       atomic.Uint64 // transport failures (connect/reset)
 	timeouts     atomic.Uint64 // attempts abandoned at the attempt timeout
 	truncated    atomic.Uint64 // responses over MaxProxiedBody, failed over
-	corrupt      atomic.Uint64 // 2xx responses with an invalid JSON body
+	corrupt      atomic.Uint64 // 200 responses with an invalid JSON body
 	retried5xx   atomic.Uint64 // 5xx answers retried on the next candidate
 	probeFails   atomic.Uint64
 	ejections    atomic.Uint64
