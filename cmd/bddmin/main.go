@@ -13,6 +13,7 @@
 //	       [-budget-nodes N] [-timeout D]
 //	bddmin -pla file.pla [-output K] ...
 //	bddmin -blif file.blif [-node NAME] ...
+//	bddmin -network -blif file.blif [-window K] [-sweeps N] [-node-budget N] [-out opt.blif]
 //	bddmin -spec - < corpus.txt
 //
 // With -all, every registered heuristic plus the lower bound is reported;
@@ -27,6 +28,16 @@
 // don't-care set ([f, ¬ODC], the synthesis-side source of incompletely
 // specified functions). Without -node the first internal node with a
 // non-trivial ODC is chosen.
+//
+// With -network the whole BLIF netlist is optimized instead of a single
+// node: every internal node is minimized against its windowed compatible
+// don't cares (package network) and substituted back when the rewrite
+// shrinks it, sweeping to convergence. The run prints the per-sweep cost
+// trajectory and the final miter verdict, exits nonzero if the miter
+// fails, and -out writes the rewritten netlist. -window sets both the
+// fanin and fanout window depth, -sweeps caps the convergence loop, and
+// -node-budget bounds each node's window work (a tripped budget skips or
+// degrades that node only).
 //
 // With `-spec -`, instances are read from stdin in the shared corpus
 // format (see internal/problem): one per line, either a leaf-notation
@@ -106,6 +117,11 @@ func run() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		budgetN    = flag.Int("budget-nodes", 0, "abort a minimization beyond this many live BDD nodes, degrading to the best valid cover (0 = unbounded)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per minimization, e.g. 500ms (0 = none)")
+		netMode    = flag.Bool("network", false, "with -blif, optimize the whole netlist against windowed compatible don't cares instead of minimizing one node")
+		netWindow  = flag.Int("window", 2, "with -network, fanin and fanout depth of each node's window")
+		netSweeps  = flag.Int("sweeps", 4, "with -network, cap on convergence-loop sweeps")
+		netBudget  = flag.Uint64("node-budget", 0, "with -network, cap each node's window work at this many BDD nodes made (0 = unbounded)")
+		netOut     = flag.String("out", "", "with -network, write the optimized BLIF to this file")
 	)
 	flag.Parse()
 	if *spec == "" && *plaFile == "" && *blifFile == "" {
@@ -165,6 +181,15 @@ func run() {
 			b.Deadline = time.Now().Add(*timeout)
 		}
 		return b
+	}
+
+	if *netMode {
+		runNetwork(*blifFile, *heuristic, *netWindow, *netSweeps, *netBudget, *timeout, *netOut, tracer)
+		if metrics != nil {
+			fmt.Println()
+			metrics.Format(os.Stdout)
+		}
+		return
 	}
 
 	if *spec == "-" {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"bddmin/internal/core"
+	"bddmin/internal/logic"
+	"bddmin/internal/network"
+	"bddmin/internal/obs"
+)
+
+// runNetwork is the -network mode: whole-network don't-care optimization of
+// a BLIF netlist (package network) instead of single-node minimization. It
+// prints the per-sweep convergence trajectory and the miter verdict, and
+// exits nonzero if the final equivalence check fails.
+func runNetwork(blifFile, heuName string, window, sweeps int, nodeBudget uint64,
+	timeout time.Duration, outFile string, tracer obs.Tracer) {
+
+	if blifFile == "" {
+		fail(errors.New("bddmin: -network requires -blif FILE"))
+	}
+	currentInput = fmt.Sprintf("-network -blif %s", blifFile)
+	src, err := os.ReadFile(blifFile)
+	if err != nil {
+		fail(err)
+	}
+	net, err := logic.ParseBLIFString(string(src))
+	if err != nil {
+		fail(err)
+	}
+	h := core.ByName(heuName)
+	if h == nil {
+		fmt.Fprintf(os.Stderr, "unknown heuristic %q\n", heuName)
+		os.Exit(1)
+	}
+	opts := network.Options{
+		Heuristic:    core.Instrument(h, tracer),
+		FaninLevels:  window,
+		FanoutLevels: window,
+		MaxSweeps:    sweeps,
+		NodeBudget:   nodeBudget,
+		Trace:        tracer,
+	}
+	if timeout > 0 {
+		opts.Deadline = time.Now().Add(timeout)
+	}
+
+	res, miterErr := network.Optimize(net, opts)
+	fmt.Printf("%s: %d internal nodes, cost %d (heuristic %s, window %d)\n",
+		net.Name, res.InitialNodes, res.InitialCost, h.Name(), window)
+	for i, s := range res.Sweeps {
+		fmt.Printf("  sweep %d: cost %d, nodes %d, rewrites %d, aborts %d, skipped %d\n",
+			i+1, s.Cost, s.Nodes, s.Rewrites, s.Aborts, s.Skipped)
+	}
+	if miterErr != nil {
+		fmt.Printf("miter: FAILED: %v\n", miterErr)
+		os.Exit(1)
+	}
+	fmt.Println("miter: equivalent")
+	state := "sweep cap reached"
+	if res.Converged {
+		state = "converged"
+	}
+	fmt.Printf("optimized: nodes %d -> %d, cost %d -> %d (%s, %d rewrites)\n",
+		res.InitialNodes, res.FinalNodes, res.InitialCost, res.FinalCost, state, res.Rewrites)
+
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := logic.WriteBLIF(f, net); err != nil {
+			fail(err)
+		}
+		fmt.Printf("optimized BLIF written to %s\n", outFile)
+	}
+}

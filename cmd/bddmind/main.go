@@ -16,6 +16,11 @@
 //	POST /minimize   one job; 200 with the cover (possibly degraded),
 //	                 429 + Retry-After under backpressure, 503 while
 //	                 draining
+//	POST /optimize-network   whole-network don't-care optimization of a
+//	                 BLIF netlist (package network): 200 with the per-sweep
+//	                 trajectory and the rewritten BLIF, same admission
+//	                 control and budgets as /minimize; never cached or
+//	                 coalesced
 //	GET  /healthz    200 ok / 503 draining
 //	GET  /metrics    queue depth, shard utilization, latency histogram,
 //	                 per-heuristic metrics, admission counters

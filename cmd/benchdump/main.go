@@ -14,12 +14,14 @@
 //   - suite: one instrumented FSM self-equivalence sweep over the selected
 //     benchmarks, sequential, with the parallel worker pool, and with
 //     parallel level matching inside each benchmark
-//     (suite/matchworkers-N), with NodesMade as the work measure.
+//     (suite/matchworkers-N), with NodesMade as the work measure, plus one
+//     whole-network don't-care optimization run (suite/netopt) on the first
+//     selected benchmark, recording the per-sweep node-count trajectory.
 //
 // The sequential sweep runs with the observability tracer attached, and
 // its aggregated per-heuristic breakdown (applications, acceptances, wins,
 // nodes saved, cumulative time) lands in the report's "heuristics"
-// section (schema bddmin-bench-kernel/4). Benchmarks that fan level
+// section (schema bddmin-bench-kernel/5). Benchmarks that fan level
 // matching record their worker count in the match_workers field; their
 // covers are byte-identical to the serial runs, so only runtimes move.
 //
@@ -45,6 +47,7 @@ import (
 	"bddmin/internal/circuits"
 	"bddmin/internal/core"
 	"bddmin/internal/harness"
+	"bddmin/internal/network"
 	"bddmin/internal/obs"
 )
 
@@ -170,6 +173,34 @@ func main() {
 		report.Benchmarks = append(report.Benchmarks, mw)
 		progress("%-24s %12.1f ns/op (%.2fs, %.2fx vs sequential)\n",
 			mw.Name, mw.NsPerOp, mw.NsPerOp/1e9, seq.NsPerOp/mw.NsPerOp)
+		// Whole-network don't-care optimization of the first selected
+		// benchmark (package network): wall-clock, kernel work, and the
+		// per-sweep node-count trajectory (sweep_nodes, schema /5). The
+		// trajectory is monotone by construction, so a regression here means
+		// the windowed CDC extraction stopped finding flexibility.
+		info, err := circuits.ByName(names[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		netStart := time.Now()
+		res, err := network.Optimize(info.Build(), network.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		netKB := harness.KernelBench{
+			Name:       "suite/netopt",
+			Iterations: 1,
+			NsPerOp:    float64(time.Since(netStart).Nanoseconds()),
+			NodesMade:  res.NodesMade,
+		}
+		for _, s := range res.Sweeps {
+			netKB.SweepNodes = append(netKB.SweepNodes, s.Nodes)
+		}
+		report.Benchmarks = append(report.Benchmarks, netKB)
+		progress("%-24s %12.1f ns/op (%s: nodes %d -> %d, %d sweeps)\n",
+			netKB.Name, netKB.NsPerOp, info.Name, res.InitialNodes, res.FinalNodes, len(res.Sweeps))
 	}
 
 	var out *os.File

@@ -1,0 +1,64 @@
+// Whole-network don't-care optimization: sweep a netlist with correlated
+// internal signals through network.Optimize and watch a redundant gate
+// collapse to a constant.
+//
+// The demo network computes p = a·b, q = a+b, r = p+q, y = r·c. Since
+// p = 1 forces q = 1, the combination (p=1, q=0) is a satisfiability
+// don't care at r's fanins: r's window sees that p never contributes, so
+// r collapses to a buffer of q and p dies with it — a reduction that
+// per-node observability don't cares alone cannot find (p *is*
+// observable; it is the correlation between p and q that makes it
+// redundant). The final miter proves y unchanged. Run with:
+//
+//	go run ./examples/netopt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bddmin/internal/logic"
+	"bddmin/internal/network"
+)
+
+func buildNet() *logic.Network {
+	b := logic.NewBuilder("netopt")
+	a := b.Input("a")
+	bb := b.Input("b")
+	c := b.Input("c")
+	p := b.And(a, bb)
+	q := b.Or(a, bb)
+	r := b.Or(p, q)
+	b.Output("y", b.And(r, c))
+	return b.MustBuild()
+}
+
+func main() {
+	fmt.Println("=== Whole-network optimization with windowed don't cares ===")
+	net := buildNet()
+	fmt.Printf("before: %d internal nodes, cost %d (sum of local BDD sizes)\n\n",
+		net.NodeCount()-len(net.Inputs), network.Cost(net))
+
+	res, err := network.Optimize(net, network.Options{
+		// Defaults: osm_bt per node, window depth 2, up to 4 sweeps.
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miter failed:", err)
+		os.Exit(1)
+	}
+
+	for i, s := range res.Sweeps {
+		fmt.Printf("sweep %d: cost %d, nodes %d, rewrites %d, skipped %d\n",
+			i+1, s.Cost, s.Nodes, s.Rewrites, s.Skipped)
+	}
+	fmt.Printf("\nnodes %d -> %d, cost %d -> %d, converged=%v, miter ok=%v\n",
+		res.InitialNodes, res.FinalNodes, res.InitialCost, res.FinalCost,
+		res.Converged, res.MiterOK)
+
+	fmt.Println("\noptimized netlist:")
+	if err := logic.WriteBLIF(os.Stdout, net); err != nil {
+		panic(err)
+	}
+	fmt.Println("\nThe p = a·b gate is gone: its window proved the network never")
+	fmt.Println("needs it, and the miter certifies every output is unchanged.")
+}

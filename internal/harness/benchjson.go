@@ -24,6 +24,10 @@ type KernelBench struct {
 	// (0 or 1 = serial matcher). Results are byte-identical across
 	// settings, so the field only contextualizes the runtime.
 	MatchWorkers int `json:"match_workers,omitempty"`
+	// SweepNodes is the per-sweep internal-node trajectory of a network
+	// optimization run (suite/netopt): entry i is the node count after
+	// sweep i+1. Monotonically non-increasing by construction.
+	SweepNodes []int `json:"sweep_nodes,omitempty"`
 }
 
 // HeuristicSummary is the per-heuristic breakdown of one suite sweep,
@@ -63,9 +67,10 @@ func HeuristicSummaries(mt *obs.Metrics) []HeuristicSummary {
 // the match-kernel and level-match micro-benchmarks (micro/osm_match,
 // micro/tsm_match, micro/levelmatch); /4 added the parallel level-matching
 // entries (micro/levelmatch_par, suite/matchworkers-N) and the per-benchmark
-// match_workers field.
+// match_workers field; /5 added the network-optimization suite entry
+// (suite/netopt) and its per-sweep node-count trajectory (sweep_nodes).
 type BenchReport struct {
-	Schema     string             `json:"schema"` // "bddmin-bench-kernel/4"
+	Schema     string             `json:"schema"` // "bddmin-bench-kernel/5"
 	Timestamp  time.Time          `json:"timestamp"`
 	GoMaxProcs int                `json:"gomaxprocs"`
 	Workers    int                `json:"workers"`
@@ -74,7 +79,7 @@ type BenchReport struct {
 }
 
 // BenchReportSchema identifies the BENCH_kernel.json layout version.
-const BenchReportSchema = "bddmin-bench-kernel/4"
+const BenchReportSchema = "bddmin-bench-kernel/5"
 
 // WriteBenchJSON emits the report as indented JSON.
 func WriteBenchJSON(w io.Writer, r BenchReport) error {

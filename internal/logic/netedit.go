@@ -1,0 +1,91 @@
+package logic
+
+// Structural network editing support for don't-care-based rewriting
+// (package network): deep copies for equivalence baselines and dead-logic
+// sweeping after substitutions shrink fanin lists.
+
+// Clone returns a deep copy of the network: every node, latch and the
+// input/output lists are duplicated, with fanin pointers remapped into the
+// copy. The clone shares no mutable state with the original, so an
+// optimizer can rewrite one while the other serves as the equivalence
+// baseline of a miter check.
+func (n *Network) Clone() *Network {
+	clone := &Network{Name: n.Name}
+	mapping := make(map[*Node]*Node, len(n.nodes))
+	copyNode := func(nd *Node) *Node {
+		if cp, ok := mapping[nd]; ok {
+			return cp
+		}
+		cp := &Node{Name: nd.Name, Type: nd.Type, Value: nd.Value}
+		if nd.Cover != nil {
+			cp.Cover = append([]string(nil), nd.Cover...)
+		}
+		mapping[nd] = cp
+		return cp
+	}
+	// Two passes: register every node in insertion order first, then wire
+	// fanins, so forward references resolve regardless of node order.
+	for _, nd := range n.nodes {
+		clone.nodes = append(clone.nodes, copyNode(nd))
+	}
+	for _, nd := range n.nodes {
+		cp := mapping[nd]
+		for _, fi := range nd.Fanin {
+			cp.Fanin = append(cp.Fanin, copyNode(fi))
+		}
+	}
+	for _, in := range n.Inputs {
+		clone.Inputs = append(clone.Inputs, copyNode(in))
+	}
+	for _, o := range n.Outputs {
+		clone.Outputs = append(clone.Outputs, copyNode(o))
+	}
+	for _, l := range n.Latches {
+		clone.Latches = append(clone.Latches, &Latch{
+			Name:   l.Name,
+			Input:  copyNode(l.Input),
+			Output: copyNode(l.Output),
+			Init:   l.Init,
+		})
+	}
+	return clone
+}
+
+// RemoveDead drops nodes with no path to a primary output or a latch
+// next-state function. Primary inputs and latch outputs are always kept
+// (they define the network's interface), as is everything in their
+// transitive fanin. It returns the number of nodes removed.
+func (n *Network) RemoveDead() int {
+	live := make(map[*Node]bool, len(n.nodes))
+	var mark func(nd *Node)
+	mark = func(nd *Node) {
+		if live[nd] {
+			return
+		}
+		live[nd] = true
+		for _, fi := range nd.Fanin {
+			mark(fi)
+		}
+	}
+	for _, o := range n.Outputs {
+		mark(o)
+	}
+	for _, l := range n.Latches {
+		mark(l.Input)
+		mark(l.Output)
+	}
+	for _, in := range n.Inputs {
+		live[in] = true
+	}
+	kept := n.nodes[:0]
+	removed := 0
+	for _, nd := range n.nodes {
+		if live[nd] {
+			kept = append(kept, nd)
+		} else {
+			removed++
+		}
+	}
+	n.nodes = kept
+	return removed
+}

@@ -1,0 +1,182 @@
+package logic
+
+import (
+	"testing"
+
+	"bddmin/internal/bdd"
+)
+
+// TestObservabilityDCOutputNode pins the primary-output early exit: a node
+// that is itself observed has ODC = Zero, including when it also feeds
+// internal logic (the multi-output case where only scanning net.Outputs
+// would be tempting to skip).
+func TestObservabilityDCOutputNode(t *testing.T) {
+	b := NewBuilder("multiout")
+	a := b.Input("a")
+	c := b.Input("c")
+	d := b.Input("d")
+	// shared feeds primary output y0 directly AND internal logic toward y1.
+	shared := b.And(a, c)
+	b.Output("y0", shared)
+	b.Output("y1", b.Or(shared, d))
+	net := b.MustBuild()
+
+	m := bdd.New(3)
+	env := Env{}
+	for i, in := range net.Inputs {
+		env[in] = m.MkVar(bdd.Var(i))
+	}
+	before := m.NodesMade()
+	odc, err := ObservabilityDC(m, net, env, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odc != bdd.Zero {
+		t.Fatalf("ODC of a primary output must be Zero, got size %d", m.Size(odc))
+	}
+	if made := m.NodesMade() - before; made != 0 {
+		t.Fatalf("early exit must not build the XNOR chain, made %d nodes", made)
+	}
+
+	// Same early exit for a latch's next-state function.
+	lb := NewBuilder("latched")
+	x := lb.Input("x")
+	q := lb.Latch("q", false)
+	next := lb.And(x, q)
+	lb.SetNext(q, next)
+	lb.Output("o", lb.Or(next, x))
+	lnet := lb.MustBuild()
+	lm := bdd.New(2)
+	lenv := Env{}
+	v := 0
+	for _, in := range lnet.Inputs {
+		lenv[in] = lm.MkVar(bdd.Var(v))
+		v++
+	}
+	for _, l := range lnet.Latches {
+		lenv[l.Output] = lm.MkVar(bdd.Var(v))
+		v++
+	}
+	odc, err = ObservabilityDC(lm, lnet, lenv, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odc != bdd.Zero {
+		t.Fatal("ODC of a latch input driver must be Zero")
+	}
+}
+
+func TestNetworkClone(t *testing.T) {
+	src := `.model clonetest
+.inputs a b
+.outputs y z
+.latch nxt st 1
+.names a b t
+11 1
+.names t st y
+1- 1
+-1 1
+.names a t nxt
+10 1
+.names b z
+0 1
+.end
+`
+	net, err := ParseBLIFString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := net.Clone()
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if clone.NodeCount() != net.NodeCount() ||
+		len(clone.Inputs) != len(net.Inputs) ||
+		len(clone.Outputs) != len(net.Outputs) ||
+		len(clone.Latches) != len(net.Latches) {
+		t.Fatal("clone shape differs")
+	}
+	// No node pointer may be shared.
+	orig := make(map[*Node]bool)
+	for _, nd := range net.Nodes() {
+		orig[nd] = true
+	}
+	for _, nd := range clone.Nodes() {
+		if orig[nd] {
+			t.Fatalf("clone shares node %q with the original", nd.Name)
+		}
+	}
+	// Functionally identical: compare every output and next-state function.
+	m := bdd.New(net.PrimaryInputCount() + net.LatchCount())
+	bind := func(n *Network) Env {
+		env := Env{}
+		v := 0
+		for _, in := range n.Inputs {
+			env[in] = m.MkVar(bdd.Var(v))
+			v++
+		}
+		for _, l := range n.Latches {
+			env[l.Output] = m.MkVar(bdd.Var(v))
+			v++
+		}
+		return env
+	}
+	envA, envB := bind(net), bind(clone)
+	memoA, memoB := map[*Node]bdd.Ref{}, map[*Node]bdd.Ref{}
+	for i := range net.Outputs {
+		if EvalBDD(m, net.Outputs[i], envA, memoA) != EvalBDD(m, clone.Outputs[i], envB, memoB) {
+			t.Fatalf("output %d differs after clone", i)
+		}
+	}
+	for i := range net.Latches {
+		if EvalBDD(m, net.Latches[i].Input, envA, memoA) != EvalBDD(m, clone.Latches[i].Input, envB, memoB) {
+			t.Fatalf("latch %d next-state differs after clone", i)
+		}
+	}
+	// Mutating the clone must not leak into the original.
+	for _, nd := range clone.Nodes() {
+		if nd.Type == Table {
+			nd.Cover = []string{}
+			break
+		}
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestRemoveDead(t *testing.T) {
+	b := NewBuilder("deadwood")
+	a := b.Input("a")
+	c := b.Input("c")
+	liveNode := b.And(a, c)
+	dead := b.Or(a, c)     // no path to any output
+	deadTop := b.Not(dead) // dead cone of depth 2
+	b.Output("y", liveNode)
+	net := b.MustBuild()
+	_ = deadTop
+
+	before := net.NodeCount()
+	removed := net.RemoveDead()
+	if removed != 2 {
+		t.Fatalf("removed %d nodes, want 2", removed)
+	}
+	if net.NodeCount() != before-2 {
+		t.Fatalf("node count %d after removal, want %d", net.NodeCount(), before-2)
+	}
+	for _, nd := range net.Nodes() {
+		if nd == dead || nd == deadTop {
+			t.Fatal("dead node survived RemoveDead")
+		}
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Inputs survive even when unused; a second sweep is a no-op.
+	if net.RemoveDead() != 0 {
+		t.Fatal("second RemoveDead removed nodes")
+	}
+	if len(net.Inputs) != 2 {
+		t.Fatal("primary inputs must survive dead-logic sweeping")
+	}
+}

@@ -29,6 +29,22 @@ func ObservabilityDC(m *bdd.Manager, net *Network, env Env, target *Node) (bdd.R
 			return bdd.Zero, fmt.Errorf("logic: target %q is an unbound input", target.Name)
 		}
 	}
+	// A node that is itself observed — a primary output or a latch's
+	// next-state function — is never unobservable: forcing it to 1 and 0
+	// changes that observable directly (XNOR(One, Zero) = Zero), so the
+	// whole conjunction is Zero. Exit before building the per-output XNOR
+	// chain; this matters for nodes that feed both an output and internal
+	// logic, where the chain would be evaluated only to collapse.
+	for _, o := range net.Outputs {
+		if o == target {
+			return bdd.Zero, nil
+		}
+	}
+	for _, l := range net.Latches {
+		if l.Input == target {
+			return bdd.Zero, nil
+		}
+	}
 	// Evaluate every observable function twice, with the target forced to
 	// One and Zero. Forcing is done by seeding the memo table.
 	evalForced := func(forced bdd.Ref) []bdd.Ref {

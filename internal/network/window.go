@@ -1,0 +1,173 @@
+package network
+
+import "bddmin/internal/logic"
+
+// Window extraction: cut a k-level fanin/fanout environment out of the
+// network around one target node. Everything outside the cut is abstracted
+// away by treating the boundary signals as free variables — which can only
+// shrink the don't-care set computed inside, keeping the approximation
+// conservative (see the package comment).
+
+// window is one node's optimization environment.
+type window struct {
+	target *logic.Node
+	// inputs are the boundary nodes, bound to the free variables
+	// x_0..x_{len(inputs)-1} in window order (deterministic: network node
+	// order, fanins in fanin order).
+	inputs []*logic.Node
+	// outputs are the member nodes whose value escapes the window — a
+	// primary output, a latch's next-state function, or a node with a
+	// consumer outside the member set — restricted to those that can see
+	// the target (the others cannot change under any rewrite).
+	outputs []*logic.Node
+	member  map[*logic.Node]bool
+}
+
+// fanoutMap indexes every node's consumers. Rebuilt per sweep and after
+// each accepted substitution (rewrites shrink fanin lists).
+func fanoutMap(net *logic.Network) map[*logic.Node][]*logic.Node {
+	fo := make(map[*logic.Node][]*logic.Node, net.NodeCount())
+	for _, nd := range net.Nodes() {
+		for _, fi := range nd.Fanin {
+			fo[fi] = append(fo[fi], nd)
+		}
+	}
+	return fo
+}
+
+// rootSet marks the network's observables: primary outputs and latch
+// next-state drivers.
+func rootSet(net *logic.Network) map[*logic.Node]bool {
+	roots := make(map[*logic.Node]bool, len(net.Outputs)+len(net.Latches))
+	for _, o := range net.Outputs {
+		roots[o] = true
+	}
+	for _, l := range net.Latches {
+		roots[l.Input] = true
+	}
+	return roots
+}
+
+// buildWindow cuts the target's window: the transitive fanout of the
+// target up to fanoutLevels, plus the transitive fanin of every collected
+// node up to faninLevels, with boundary inputs and escaping outputs
+// derived from the member set. Constant fanins are always absorbed as
+// members (a constant made free would only lose precision).
+func buildWindow(net *logic.Network, fanouts map[*logic.Node][]*logic.Node,
+	roots map[*logic.Node]bool, target *logic.Node, faninLevels, fanoutLevels int) *window {
+
+	w := &window{target: target, member: map[*logic.Node]bool{target: true}}
+
+	// Transitive fanout, breadth-first, fanoutLevels deep. Latches are a
+	// sequential boundary: fanouts never cross them (the fanout map is
+	// built from combinational fanin edges only, so nothing to do).
+	frontier := []*logic.Node{target}
+	for depth := 0; depth < fanoutLevels && len(frontier) > 0; depth++ {
+		var next []*logic.Node
+		for _, nd := range frontier {
+			for _, consumer := range fanouts[nd] {
+				if !w.member[consumer] {
+					w.member[consumer] = true
+					next = append(next, consumer)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Transitive fanin of every member collected so far, faninLevels deep
+	// from each. Breadth-first over the whole set keeps it one pass.
+	frontier = frontier[:0]
+	for _, nd := range net.Nodes() {
+		if w.member[nd] {
+			frontier = append(frontier, nd)
+		}
+	}
+	for depth := 0; depth < faninLevels && len(frontier) > 0; depth++ {
+		var next []*logic.Node
+		for _, nd := range frontier {
+			for _, fi := range nd.Fanin {
+				if !w.member[fi] {
+					w.member[fi] = true
+					next = append(next, fi)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Boundary inputs: member nodes that are free at the window's edge —
+	// Input-typed members (primary inputs, latch outputs), and non-member
+	// fanins of members. Constants are absorbed instead. Collection order
+	// is deterministic: network node order, then fanin order.
+	seenInput := make(map[*logic.Node]bool)
+	addInput := func(nd *logic.Node) {
+		if !seenInput[nd] {
+			seenInput[nd] = true
+			w.inputs = append(w.inputs, nd)
+		}
+	}
+	for _, nd := range net.Nodes() {
+		if !w.member[nd] {
+			continue
+		}
+		if nd.Type == logic.Input {
+			addInput(nd)
+			continue
+		}
+		for _, fi := range nd.Fanin {
+			if w.member[fi] {
+				continue
+			}
+			if fi.Type == logic.Const {
+				w.member[fi] = true
+				continue
+			}
+			addInput(fi)
+		}
+	}
+
+	// Escaping outputs: member nodes observed outside the window, filtered
+	// to those whose window cone contains the target (the others cannot
+	// change, so their XNOR terms would be trivially One).
+	sees := map[*logic.Node]bool{target: true}
+	var canSee func(nd *logic.Node) bool
+	canSee = func(nd *logic.Node) bool {
+		if v, ok := sees[nd]; ok {
+			return v
+		}
+		sees[nd] = false // cycle guard; networks are acyclic anyway
+		v := false
+		if w.member[nd] && !seenInput[nd] {
+			for _, fi := range nd.Fanin {
+				if canSee(fi) {
+					v = true
+					break
+				}
+			}
+		}
+		sees[nd] = v
+		return v
+	}
+	for _, nd := range net.Nodes() {
+		if !w.member[nd] || nd.Type == logic.Input || nd.Type == logic.Const {
+			continue
+		}
+		if !canSee(nd) {
+			continue
+		}
+		escapes := roots[nd]
+		if !escapes {
+			for _, consumer := range fanouts[nd] {
+				if !w.member[consumer] {
+					escapes = true
+					break
+				}
+			}
+		}
+		if escapes {
+			w.outputs = append(w.outputs, nd)
+		}
+	}
+	return w
+}

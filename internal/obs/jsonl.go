@@ -127,6 +127,21 @@ type (
 		Reason  string `json:"reason,omitempty"`
 		Ns      int64  `json:"ns,omitempty"`
 	}
+	wireNetwork struct {
+		Ev           string `json:"ev"`
+		Phase        string `json:"phase"`
+		Node         string `json:"node,omitempty"`
+		Sweep        int    `json:"sweep,omitempty"`
+		WindowInputs int    `json:"window_inputs,omitempty"`
+		InSize       int    `json:"in_size,omitempty"`
+		OutSize      int    `json:"out_size,omitempty"`
+		Cost         int    `json:"cost,omitempty"`
+		Nodes        int    `json:"nodes,omitempty"`
+		Rewrites     int    `json:"rewrites,omitempty"`
+		Accepted     bool   `json:"accepted,omitempty"`
+		Aborted      bool   `json:"aborted,omitempty"`
+		Ns           int64  `json:"ns,omitempty"`
+	}
 	wireAbort struct {
 		Ev        string `json:"ev"`
 		Benchmark string `json:"benchmark,omitempty"`
@@ -191,6 +206,17 @@ func (s *JSONL) Emit(ev Event) {
 			w.Ns = e.Duration.Nanoseconds()
 		}
 		payload = w
+	case NetworkEvent:
+		w := wireNetwork{
+			Ev: e.Kind(), Phase: e.Phase, Node: e.Node, Sweep: e.Sweep,
+			WindowInputs: e.WindowInputs, InSize: e.InSize, OutSize: e.OutSize,
+			Cost: e.Cost, Nodes: e.Nodes, Rewrites: e.Rewrites,
+			Accepted: e.Accepted, Aborted: e.Aborted,
+		}
+		if s.Timings {
+			w.Ns = e.Duration.Nanoseconds()
+		}
+		payload = w
 	case RouteEvent:
 		w := wireRoute{
 			Ev: e.Kind(), Phase: e.Phase, Backend: e.Backend, Key: e.Key,
@@ -228,6 +254,7 @@ var knownKinds = map[string]bool{
 	AbortEvent{}.Kind():      true,
 	ServeEvent{}.Kind():      true,
 	RouteEvent{}.Kind():      true,
+	NetworkEvent{}.Kind():    true,
 }
 
 // ValidateJSONL replays a trace stream structurally: every line must be a

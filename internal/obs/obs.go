@@ -228,6 +228,38 @@ type RouteEvent struct {
 // Kind implements Event.
 func (RouteEvent) Kind() string { return "route" }
 
+// NetworkEvent reports one transition of the whole-network don't-care
+// optimizer (package network): a per-node minimize-substitute attempt
+// ("node"), the end of one topological sweep ("sweep"), and the final
+// equivalence check ("miter"). Node events carry the window shape and the
+// local cover sizes; sweep events carry the network-level trajectory the
+// convergence loop monitors; the miter event carries the verdict.
+type NetworkEvent struct {
+	Phase string // "node", "sweep" or "miter"
+	Node  string // target node name (node phase)
+	Sweep int    // 1-based sweep number (node and sweep phases)
+	// WindowInputs is the number of free boundary variables of the node's
+	// window; InSize and OutSize are the local cover's BDD sizes before and
+	// after minimization (node phase).
+	WindowInputs int
+	InSize       int
+	OutSize      int
+	// Cost and Nodes are the network cost (Σ local BDD sizes) and internal
+	// node count after the phase; Rewrites counts accepted substitutions in
+	// the sweep (sweep phase).
+	Cost     int
+	Nodes    int
+	Rewrites int
+	// Accepted reports an applied substitution (node phase) or a passing
+	// equivalence check (miter phase); Aborted marks a per-node budget trip.
+	Accepted bool
+	Aborted  bool
+	Duration time.Duration
+}
+
+// Kind implements Event.
+func (NetworkEvent) Kind() string { return "network" }
+
 // Multi fans events out to every non-nil tracer, in order. It returns nil
 // when no tracer remains, preserving the "nil means disabled" convention
 // at the call sites.

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"bddmin/internal/logic"
 )
 
 // Corpus line format — the shared batch-input representation behind
@@ -17,6 +19,8 @@ import (
 //	d1 01 1d 01                      a leaf-notation spec
 //	@pla relative/path.pla [output]  a PLA file, optional output column
 //	@blif relative/path.blif [node]  a BLIF file, optional node name
+//	@netblif relative/path.blif      every internal node of a BLIF network,
+//	                                 one EBM instance per node
 //
 // File references resolve relative to the corpus's base directory, and the
 // referenced file contents are inlined into the Problem's Raw field, so a
@@ -60,8 +64,63 @@ func ParseLine(line, baseDir string) (*Problem, error) {
 			node = fields[2]
 		}
 		return ParseBLIF(string(src), node, fields[1])
+	case "@netblif":
+		return nil, fmt.Errorf("problem: corpus line %q: @netblif expands to one instance per node; load it through ExpandLine or LoadCorpus", trimmed)
 	}
-	return nil, fmt.Errorf("problem: corpus line %q: unknown directive %s (want @pla or @blif)", trimmed, fields[0])
+	return nil, fmt.Errorf("problem: corpus line %q: unknown directive %s (want @pla, @blif or @netblif)", trimmed, fields[0])
+}
+
+// ExpandLine parses one corpus line like ParseLine but supports directives
+// that yield multiple instances: an `@netblif path` line expands a BLIF
+// network into one EBM instance per internal node — the whole-network
+// optimizer's workload (package network) expressed as corpus entries, so
+// load runs and the harness can replay exactly the per-node minimizations a
+// network sweep performs. Blank lines and comments return (nil, nil).
+func ExpandLine(line, baseDir string) ([]*Problem, error) {
+	trimmed := strings.TrimSpace(line)
+	fields := strings.Fields(trimmed)
+	if len(fields) == 0 || fields[0] != "@netblif" {
+		p, err := ParseLine(line, baseDir)
+		if err != nil || p == nil {
+			return nil, err
+		}
+		return []*Problem{p}, nil
+	}
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("problem: corpus line %q: @netblif takes exactly a file path", trimmed)
+	}
+	path := fields[1]
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(baseDir, path)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("problem: corpus line %q: %w", trimmed, err)
+	}
+	net, err := logic.ParseBLIFString(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("problem: corpus line %q: %w", trimmed, err)
+	}
+	var out []*Problem
+	seen := map[string]bool{}
+	for _, nd := range net.Nodes() {
+		if nd.Type == logic.Input || nd.Type == logic.Const {
+			continue
+		}
+		if nd.Name == "" || seen[nd.Name] {
+			continue // unnamed helpers and shadowed names are unaddressable
+		}
+		seen[nd.Name] = true
+		p, err := ParseBLIF(string(src), nd.Name, fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("problem: corpus line %q: node %s: %w", trimmed, nd.Name, err)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("problem: corpus line %q: network has no internal nodes", trimmed)
+	}
+	return out, nil
 }
 
 // LoadCorpus reads a corpus stream line by line. Entries that normalize to
@@ -79,13 +138,15 @@ func LoadCorpus(r io.Reader, baseDir string) ([]*Problem, error) {
 	line := 0
 	for sc.Scan() {
 		line++
-		p, err := ParseLine(sc.Text(), baseDir)
+		ps, err := ExpandLine(sc.Text(), baseDir)
 		if err != nil {
 			return nil, fmt.Errorf("corpus line %d: %w", line, err)
 		}
-		if p != nil && !seen[p.CanonicalKey()] {
-			seen[p.CanonicalKey()] = true
-			out = append(out, p)
+		for _, p := range ps {
+			if !seen[p.CanonicalKey()] {
+				seen[p.CanonicalKey()] = true
+				out = append(out, p)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

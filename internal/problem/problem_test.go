@@ -203,3 +203,51 @@ d1 01 1d 01
 		t.Fatal("empty corpus must fail")
 	}
 }
+
+func TestCorpusNetBLIF(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "m.blif"), []byte(testBLIF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	probs, err := LoadCorpus(strings.NewReader("@netblif m.blif\n"), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("got %d problems, want 2 (inner and f)", len(probs))
+	}
+	nodes := map[string]bool{}
+	for _, p := range probs {
+		if p.Kind != KindBLIF {
+			t.Fatalf("kind %s, want blif", p.Kind)
+		}
+		nodes[p.Node] = true
+		if _, _, err := p.NewManager(); err != nil {
+			t.Fatalf("%s: %v", p.Label, err)
+		}
+	}
+	if !nodes["inner"] || !nodes["f"] {
+		t.Fatalf("expanded nodes %v, want inner and f", nodes)
+	}
+
+	// Expansion dedups against explicit @blif lines via CanonicalKey:
+	// the inner instance is listed twice but loaded once.
+	probs, err = LoadCorpus(strings.NewReader("@blif m.blif inner\n@netblif m.blif\n"), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("got %d problems, want 2 after dedup", len(probs))
+	}
+
+	// ParseLine keeps its one-instance contract and refuses the directive.
+	if _, err := ParseLine("@netblif m.blif", dir); err == nil {
+		t.Fatal("ParseLine must reject @netblif")
+	}
+	for _, bad := range []string{"@netblif", "@netblif m.blif extra", "@netblif missing.blif"} {
+		if _, err := ExpandLine(bad, dir); err == nil {
+			t.Fatalf("line %q must fail", bad)
+		}
+	}
+}

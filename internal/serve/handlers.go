@@ -17,11 +17,12 @@ import (
 // 8 MiB is far beyond any realistic netlist this engine can chew).
 const maxRequestBody = 8 << 20
 
-// Handler returns the service's HTTP mux: POST /minimize, GET /healthz,
-// GET /metrics.
+// Handler returns the service's HTTP mux: POST /minimize, POST
+// /optimize-network, GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/minimize", s.handleMinimize)
+	mux.HandleFunc("/optimize-network", s.handleOptimizeNetwork)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bddmin/internal/logic"
+)
+
+// testNetBLIF is the correlated-fanin demo network (examples/corpus/
+// netopt.blif): p=ab implies q=a+b, so r=p+q collapses to a buffer of q
+// and p dies — 4 internal nodes become 3 with the output unchanged.
+const testNetBLIF = `.model netopt
+.inputs a b c
+.outputs y
+.names a b p
+11 1
+.names a b q
+1- 1
+-1 1
+.names p q r
+1- 1
+-1 1
+.names r c y
+11 1
+.end
+`
+
+// newNetTestServer boots a Server over httptest; cleanup drains the pool
+// before closing the listener.
+func newNetTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		ts.Close()
+	})
+	return ts
+}
+
+// postNetwork submits one network job over plain HTTP.
+func postNetwork(t *testing.T, url string, req NetworkRequest) (*NetworkResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(url+"/optimize-network", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, httpResp.StatusCode
+	}
+	var resp NetworkResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp, httpResp.StatusCode
+}
+
+func TestOptimizeNetworkEndpoint(t *testing.T) {
+	ts := newNetTestServer(t, Config{Shards: 1})
+
+	resp, status := postNetwork(t, ts.URL, NetworkRequest{Input: testNetBLIF, Trace: true})
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d", status)
+	}
+	if !resp.MiterOK {
+		t.Fatal("miter_ok false in a 200 response")
+	}
+	if resp.InitialNodes != 4 || resp.FinalNodes != 3 {
+		t.Fatalf("nodes %d -> %d, want 4 -> 3", resp.InitialNodes, resp.FinalNodes)
+	}
+	if resp.Rewrites == 0 || !resp.Converged {
+		t.Fatalf("rewrites=%d converged=%v", resp.Rewrites, resp.Converged)
+	}
+	if len(resp.Sweeps) == 0 {
+		t.Fatal("response lacks the sweep trajectory")
+	}
+	if len(resp.Trace) == 0 {
+		t.Fatal("trace requested but empty")
+	}
+
+	// The returned BLIF is a valid, equivalent network: re-parse it and run
+	// the miter against a fresh parse of the input.
+	orig, err := logic.ParseBLIFString(testNetBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := logic.ParseBLIFString(resp.BLIF)
+	if err != nil {
+		t.Fatalf("returned BLIF does not parse: %v\n%s", err, resp.BLIF)
+	}
+	if opt.NodeCount() >= orig.NodeCount() {
+		t.Fatalf("returned netlist did not shrink: %d vs %d nodes", opt.NodeCount(), orig.NodeCount())
+	}
+}
+
+func TestOptimizeNetworkEndpointErrors(t *testing.T) {
+	ts := newNetTestServer(t, Config{Shards: 1, MaxVars: 2})
+
+	if _, status := postNetwork(t, ts.URL, NetworkRequest{Input: "not blif"}); status != http.StatusBadRequest {
+		t.Fatalf("bad BLIF: HTTP %d, want 400", status)
+	}
+	tiny := ".model t\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n"
+	if _, status := postNetwork(t, ts.URL, NetworkRequest{Input: tiny, Heuristic: "nope"}); status != http.StatusBadRequest {
+		t.Fatalf("bad heuristic: HTTP %d, want 400", status)
+	}
+	// 3 primary inputs against a MaxVars of 2.
+	if _, status := postNetwork(t, ts.URL, NetworkRequest{Input: testNetBLIF}); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: HTTP %d, want 413", status)
+	}
+	getResp, err := http.Get(ts.URL + "/optimize-network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: HTTP %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestOptimizeNetworkBudgetDegrades injects the fault-free tiny node budget
+// path: the run completes, stays equivalent, and flags degradation when any
+// window aborted.
+func TestOptimizeNetworkBudgetDegrades(t *testing.T) {
+	ts := newNetTestServer(t, Config{Shards: 1, MaxNodesPerRequest: 8})
+
+	resp, status := postNetwork(t, ts.URL, NetworkRequest{Input: testNetBLIF, BudgetNodes: 1})
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d", status)
+	}
+	if !resp.MiterOK {
+		t.Fatal("miter_ok false")
+	}
+	if resp.FinalNodes > resp.InitialNodes {
+		t.Fatal("node count grew under budget pressure")
+	}
+	if resp.Aborts > 0 && !resp.Degraded {
+		t.Fatal("aborts reported without the degraded flag")
+	}
+}

@@ -36,6 +36,7 @@ import (
 
 	"bddmin/internal/bdd"
 	"bddmin/internal/core"
+	"bddmin/internal/logic"
 	"bddmin/internal/obs"
 	"bddmin/internal/problem"
 )
@@ -130,6 +131,14 @@ type task struct {
 	ctx          context.Context
 	enq          time.Time
 	resp         chan *MinimizeResponse // buffered; worker never blocks
+
+	// Network-job fields (POST /optimize-network); a non-nil netResp routes
+	// the task through executeNetwork instead of execute, and prob/resp stay
+	// nil. See network.go.
+	net      *logic.Network
+	netWidth int
+	netReq   *NetworkRequest
+	netResp  chan *NetworkResponse
 }
 
 // worker is one shard: a goroutine with a private manager.
@@ -269,7 +278,11 @@ func (s *Server) emitServe(ev obs.ServeEvent) {
 func (s *Server) runWorker(w *worker) {
 	defer s.wg.Done()
 	for t := range s.queue {
-		s.execute(w, t)
+		if t.netResp != nil {
+			s.executeNetwork(w, t)
+		} else {
+			s.execute(w, t)
+		}
 	}
 }
 
